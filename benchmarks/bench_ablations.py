@@ -1,0 +1,193 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+These are not in the paper's tables; they isolate each mechanism the
+analysis credits for the headline results.
+
+1. Index-free adjacency vs edge-table joins (graph store wins traversal
+   depth, loses point access to the indexed RDBMS).
+2. Gremlin Server round trips: the same traversal embedded vs
+   server-mediated.
+3. Row vs columnar storage under an update-heavy workload.
+4. RDF multi-index maintenance vs the relational schema (write
+   amplification).
+5. Titan's locking-for-uniqueness on the non-transactional backend.
+6. The original (full) query mix crashes the Gremlin Server under many
+   concurrent clients — the reason Section 4.3 uses the reduced mix.
+"""
+
+from repro.core import make_connector
+from repro.core.benchmark import LatencyBenchmark, WorkloadParams
+from repro.core.report import render_table
+from repro.driver import InteractiveConfig, InteractiveWorkloadRunner
+from repro.driver.workload import FULL_MIX
+from repro.simclock import CostModel, meter
+from repro.tinkerpop import Graph
+
+from conftest import REPETITIONS, banner
+
+MODEL = CostModel()
+
+
+def test_ablation_index_free_adjacency(benchmark, sf3_dataset, sf3_connectors):
+    """Neo4j's traversal latency is flat in dataset size; Postgres pays
+    joins — but the indexed RDBMS wins the anchored lookups."""
+
+    def run():
+        bench = LatencyBenchmark(sf3_dataset, repetitions=REPETITIONS)
+        return {
+            key: bench.run(sf3_connectors[key])
+            for key in ("neo4j-cypher", "postgres-sql")
+        }
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(banner("Ablation 1: index-free adjacency vs edge-table joins"))
+    print(
+        render_table(
+            "",
+            ["System", "lookup", "1-hop", "2-hop", "shortest path"],
+            [
+                [k, r["point_lookup"], r["one_hop"], r["two_hop"],
+                 r["shortest_path"]]
+                for k, r in results.items()
+            ],
+        )
+    )
+    assert (
+        results["postgres-sql"]["point_lookup"]
+        < results["neo4j-cypher"]["point_lookup"]
+    )
+    assert (
+        results["neo4j-cypher"]["shortest_path"]
+        < results["postgres-sql"]["shortest_path"]
+    )
+
+
+def test_ablation_gremlin_server_overhead(benchmark, sf3_dataset):
+    """Embedded traversal vs the same traversal through the server."""
+    connector = make_connector("neo4j-gremlin")
+    connector.load(sf3_dataset)
+    person_id = sf3_dataset.persons[0].id
+
+    def run():
+        with meter() as embedded:
+            Graph(connector.provider).traversal().V().has(
+                "person", "id", person_id
+            ).both("knows").values("id").toList()
+        with meter() as served:
+            connector.server.submit(
+                lambda g: g.V().has("person", "id", person_id)
+                .both("knows").values("id")
+            )
+        return embedded.cost_us(MODEL), served.cost_us(MODEL)
+
+    embedded_us, served_us = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(banner("Ablation 2: Gremlin Server round-trip overhead"))
+    print(
+        render_table(
+            "",
+            ["Path", "latency ms"],
+            [
+                ["embedded traversal", embedded_us / 1000],
+                ["via Gremlin Server", served_us / 1000],
+            ],
+        )
+    )
+    assert served_us > 20 * embedded_us
+
+
+def test_ablation_row_vs_column_updates(benchmark, sf3_dataset):
+    """The same update stream against row and columnar storage."""
+
+    def run():
+        costs = {}
+        for key in ("postgres-sql", "virtuoso-sql"):
+            connector = make_connector(key)
+            connector.load(sf3_dataset)
+            with meter() as ledger:
+                for event in sf3_dataset.updates[:300]:
+                    connector.apply_update(event)
+            costs[key] = ledger.cost_us(MODEL) / 1000
+        return costs
+
+    costs = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(banner("Ablation 3: row vs columnar storage, 300 updates"))
+    print(
+        render_table(
+            "", ["System", "total ms"], [[k, v] for k, v in costs.items()]
+        )
+    )
+    assert costs["virtuoso-sql"] > 1.2 * costs["postgres-sql"]
+
+
+def test_ablation_rdf_write_amplification(benchmark, sf3_dataset):
+    """Triples + three covering indexes vs relational tables."""
+
+    def run():
+        costs = {}
+        for key in ("virtuoso-sql", "virtuoso-sparql"):
+            connector = make_connector(key)
+            connector.load(sf3_dataset)
+            with meter() as ledger:
+                for event in sf3_dataset.updates[:300]:
+                    connector.apply_update(event)
+            costs[key] = ledger.cost_us(MODEL) / 1000
+        return costs
+
+    costs = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(banner("Ablation 4: RDF multi-index write amplification"))
+    print(
+        render_table(
+            "", ["System", "total ms"], [[k, v] for k, v in costs.items()]
+        )
+    )
+    assert costs["virtuoso-sparql"] > 1.5 * costs["virtuoso-sql"]
+
+
+def test_ablation_titan_locking(benchmark, sf3_dataset):
+    """Uniqueness locking on Cassandra: lock round trips per new vertex."""
+
+    def run():
+        connector = make_connector("titan-c")
+        connector.load(sf3_dataset)
+        person = next(
+            e.payload
+            for e in sf3_dataset.updates
+            if type(e.payload).__name__ == "Person"
+        )
+        with meter() as ledger:
+            connector.add_person(person)
+        return ledger.counters.get("lock_rtt", 0), ledger.cost_us(MODEL)
+
+    lock_rtts, _cost = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(banner("Ablation 5: Titan-C uniqueness locking"))
+    print(f"lock round trips for one AddPerson: {lock_rtts:g}")
+    assert lock_rtts >= 1
+
+
+def test_ablation_full_mix_crashes_gremlin_server(benchmark, sf3_dataset):
+    """Section 4.4: the original LDBC mix (with long-running complex
+    queries) makes the Gremlin Server hang and crash under 64 concurrent
+    clients; that's why the paper's Figure 3 uses the reduced mix."""
+
+    def run():
+        connector = make_connector("titan-c")
+        connector.load(sf3_dataset)
+        connector.server.queue_limit = 24
+        config = InteractiveConfig(
+            readers=64,
+            duration_ms=2_000.0,
+            window_ms=200.0,
+            mix=FULL_MIX,
+        )
+        return InteractiveWorkloadRunner(
+            connector, sf3_dataset, config
+        ).run()
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(banner("Ablation 6: full LDBC mix vs the Gremlin Server"))
+    print(
+        f"server crashed: {result.server_crashed}; "
+        f"failed reads: {result.read_failures}"
+    )
+    assert result.server_crashed
+    assert result.read_failures > 0

@@ -1,0 +1,81 @@
+"""Appendix A — aggregate ingestion rate with 1..16 concurrent loaders.
+
+Paper shape: Titan-C (Cassandra) is the only system whose ingestion
+scales with the number of loaders; Titan-B and Sqlg degrade or plateau
+because of the locking their transactional backends introduce.  Neo4j
+(Gremlin) is omitted: it does not support concurrent loading.
+"""
+
+import pytest
+
+from repro.core import make_connector
+from repro.core.report import render_table
+from repro.driver import concurrent_load
+from repro.snb import GeneratorConfig, generate
+
+from conftest import SCALE_DIVISOR, banner
+
+LOADER_COUNTS = [1, 2, 4, 8, 16]
+SYSTEMS = ["titan-c", "titan-b", "sqlg"]
+
+
+@pytest.fixture(scope="module")
+def loading_dataset():
+    """A reduced dataset: the matrix replays 15 full loads, so this bench
+    runs at 4x the session divisor (rates scale, the shape does not)."""
+    return generate(
+        GeneratorConfig(
+            scale_factor=3, scale_divisor=SCALE_DIVISOR * 4, seed=42
+        )
+    )
+
+
+def run_matrix(dataset):
+    matrix = {}
+    for key in SYSTEMS:
+        for loaders in LOADER_COUNTS:
+            connector = make_connector(key)
+            matrix[(key, loaders)] = concurrent_load(
+                connector.provider, dataset, loaders
+            )
+    return matrix
+
+
+def test_appendix_a_concurrent_loading(benchmark, loading_dataset):
+    matrix = benchmark.pedantic(
+        run_matrix, args=(loading_dataset,), iterations=1, rounds=1
+    )
+    rows = []
+    for key in SYSTEMS:
+        rows.append(
+            [key]
+            + [
+                round(matrix[(key, loaders)].edges_per_second)
+                for loaders in LOADER_COUNTS
+            ]
+        )
+    print(
+        banner(
+            "Appendix A: aggregate edge ingestion rate (edges/s) "
+            "vs concurrent loaders"
+        )
+    )
+    print(
+        render_table(
+            "",
+            ["System"] + [f"{n} loaders" for n in LOADER_COUNTS],
+            rows,
+        )
+    )
+
+    def rate(key, loaders):
+        return matrix[(key, loaders)].edges_per_second
+
+    # Titan-C scales with loaders (the only one that does)
+    assert rate("titan-c", 16) > 5 * rate("titan-c", 1)
+    # Titan-B does not scale: its writer latch serializes everything
+    assert rate("titan-b", 16) < 1.5 * rate("titan-b", 1)
+    # Sqlg's commit critical section caps its speedup well below linear
+    assert rate("sqlg", 16) < 6 * rate("sqlg", 1)
+    # Neo4j (Gremlin) is excluded: no concurrent loading support
+    assert not make_connector("neo4j-gremlin").supports_concurrent_loading()

@@ -1,0 +1,138 @@
+"""Figure 3 — read & write throughput under the real-time interactive
+workload (SF3, concurrent readers + one Kafka-fed writer).
+
+Paper shape asserted below:
+
+* Postgres (SQL) and Virtuoso (SQL) have the best write throughput;
+  Postgres leads Virtuoso by ~1.6x (row vs columnar storage);
+* Virtuoso (SQL) writes ~3x faster than Virtuoso (SPARQL) (multi-index
+  triple-table maintenance);
+* read throughputs of the viable systems are within roughly a factor of
+  four of each other, Gremlin systems lowest overall;
+* Neo4j (Cypher) outperforms Titan-C in writes but shows checkpoint dips,
+  while Titan-C sustains a steady (slow) write rate;
+* Titan-B suffers such degradation it is effectively withdrawn.
+"""
+
+import os
+
+import pytest
+
+from repro.core import SUT_KEYS
+from repro.core.report import render_series, render_table
+from repro.driver import InteractiveConfig, InteractiveWorkloadRunner
+
+from conftest import banner
+
+READERS = int(os.environ.get("REPRO_READERS", "32"))
+DURATION_MS = float(os.environ.get("REPRO_DURATION_MS", "800"))
+
+
+def run_all(dataset, connectors):
+    config = InteractiveConfig(
+        readers=READERS,
+        duration_ms=DURATION_MS,
+        window_ms=DURATION_MS / 10,
+        checkpoint_interval_ms=DURATION_MS / 5,
+        checkpoint_stall_us_per_record=2_000.0,
+    )
+    results = {}
+    for key in SUT_KEYS:
+        runner = InteractiveWorkloadRunner(connectors[key], dataset, config)
+        results[key] = runner.run()
+    return results
+
+
+def test_figure3_interactive_throughput(benchmark, sf3_dataset, sf3_connectors):
+    results = benchmark.pedantic(
+        run_all, args=(sf3_dataset, sf3_connectors), iterations=1, rounds=1
+    )
+
+    rows = [
+        [
+            key,
+            round(r.read_throughput),
+            round(r.write_throughput),
+            r.read_failures,
+            "yes" if r.server_crashed else "no",
+        ]
+        for key, r in results.items()
+    ]
+    print(
+        banner(
+            f"Figure 3: aggregate throughput, {READERS} readers + 1 writer"
+        )
+    )
+    print(
+        render_table(
+            "",
+            ["System", "reads/s", "writes/s", "read failures", "crashed"],
+            rows,
+        )
+    )
+    print()
+    print(
+        render_series(
+            "Write throughput over time (ops/s; note the Neo4j dips)",
+            {
+                "neo4j-cypher": results["neo4j-cypher"].write_windows.series(),
+                "postgres-sql": results["postgres-sql"].write_windows.series(),
+                "titan-c": results["titan-c"].write_windows.series(),
+            },
+        )
+    )
+
+    reads = {k: r.read_throughput for k, r in results.items()}
+    writes = {k: r.write_throughput for k, r in results.items()}
+
+    # RDBMSes with native SQL lead the write ranking
+    viable = {k: v for k, v in writes.items() if k != "titan-b"}
+    assert max(viable, key=viable.get) in ("postgres-sql", "virtuoso-sql")
+    # Postgres ~1.6x Virtuoso (row store vs column store under updates)
+    ratio = writes["postgres-sql"] / writes["virtuoso-sql"]
+    assert 1.15 < ratio < 4.0, f"postgres/virtuoso write ratio {ratio:.2f}"
+    # Virtuoso SQL vs SPARQL writes: ~3x (index maintenance on one table)
+    sparql_ratio = writes["virtuoso-sql"] / writes["virtuoso-sparql"]
+    assert 1.5 < sparql_ratio < 8.0, f"sql/sparql write ratio {sparql_ratio:.2f}"
+    # Neo4j (Cypher) writes faster than Titan-C (Gremlin)
+    assert writes["neo4j-cypher"] > writes["titan-c"]
+    # Gremlin systems have the lowest read throughput
+    gremlin_best = max(
+        reads[k] for k in ("neo4j-gremlin", "titan-c", "sqlg")
+    )
+    native_worst = min(
+        reads[k]
+        for k in ("postgres-sql", "virtuoso-sql", "virtuoso-sparql",
+                  "neo4j-cypher")
+    )
+    assert native_worst > gremlin_best
+    # Titan-B collapses under concurrency (withdrawn in the paper)
+    assert reads["titan-b"] < 0.5 * reads["titan-c"]
+
+
+def test_figure3_neo4j_checkpoint_dips(benchmark, sf3_dataset):
+    """The write-rate time series shows periodic checkpoint stalls."""
+    from repro.core import make_connector
+
+    def run():
+        connector = make_connector("neo4j-cypher")
+        connector.load(sf3_dataset)
+        config = InteractiveConfig(
+            readers=8,
+            duration_ms=1_000.0,
+            window_ms=50.0,
+            checkpoint_interval_ms=200.0,
+            checkpoint_stall_us_per_record=3_000.0,
+        )
+        return InteractiveWorkloadRunner(
+            connector, sf3_dataset, config
+        ).run()
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    series = [rate for _, rate in result.write_windows.series()]
+    assert result.updates_applied > 0
+    peak = max(series)
+    trough = min(series[1:-1]) if len(series) > 2 else min(series)
+    assert trough < peak * 0.5, (
+        f"expected checkpoint dips; series={series}"
+    )

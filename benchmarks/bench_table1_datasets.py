@@ -1,0 +1,54 @@
+"""Table 1 — dataset statistics and database sizes.
+
+Paper columns: #vertices, #edges, raw file size, and the loaded database
+size in each system.  Paper shape: Virtuoso-RDBMS is the most compact
+(columnar + dictionary encoding), Neo4j and Titan-B among the largest.
+"""
+
+from repro.core import SUT_KEYS, dataset_statistics
+from repro.core.report import render_table
+
+from conftest import banner
+
+
+def _mb(size_bytes: float) -> float:
+    return size_bytes / 1e6
+
+
+def test_table1_dataset_statistics(
+    benchmark, sf3_dataset, sf10_dataset, sf3_connectors, sf10_connectors
+):
+    def build():
+        rows = []
+        for name, dataset, connectors in (
+            ("SNB scale factor 3", sf3_dataset, sf3_connectors),
+            ("SNB scale factor 10", sf10_dataset, sf10_connectors),
+        ):
+            stats = dataset_statistics(dataset)
+            row = [
+                name,
+                stats["vertices"],
+                stats["edges"],
+                round(_mb(stats["raw_bytes"]), 2),
+            ]
+            row.extend(
+                round(_mb(connectors[key].size_bytes()), 2)
+                for key in SUT_KEYS
+            )
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(build, iterations=1, rounds=1)
+    headers = ["Dataset", "#vertices", "#edges", "raw MB"] + [
+        f"{key} MB" for key in SUT_KEYS
+    ]
+    print(banner("Table 1: dataset statistics and database sizes"))
+    print(render_table("", headers, rows))
+
+    sizes_sf3 = {key: rows[0][4 + i] for i, key in enumerate(SUT_KEYS)}
+    # paper shape: the columnar RDBMS is the most compact store
+    assert sizes_sf3["virtuoso-sql"] <= min(
+        sizes_sf3["neo4j-cypher"], sizes_sf3["titan-b"], sizes_sf3["sqlg"]
+    )
+    # SF10 is roughly 3.4x SF3 (34M/10M vertices in the paper)
+    assert 2.0 < rows[1][1] / rows[0][1] < 6.0

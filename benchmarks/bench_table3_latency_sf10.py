@@ -1,0 +1,61 @@
+"""Table 3 — read-only query latencies on the scale factor 10 dataset.
+
+Same queries as Table 2, larger graph.  Additional paper shape:
+
+* Neo4j (Cypher) is nearly scale-insensitive — index-free adjacency makes
+  traversal latency depend on the neighbourhood, not the dataset size —
+  while the relational engines grow with the data;
+* Sqlg cannot complete the shortest-path query in reasonable time at
+  SF10 (the paper's '-' entry), enforced here by the Gremlin Server's
+  evaluation timeout.
+"""
+
+import math
+
+from repro.core import SUT_KEYS
+from repro.core.benchmark import MICRO_QUERIES, LatencyBenchmark
+from repro.core.report import render_table
+
+from conftest import REPETITIONS, banner
+
+from bench_table2_latency_sf3 import run_suite
+
+
+def test_table3_latency_sf10(
+    benchmark, sf3_dataset, sf3_connectors, sf10_dataset, sf10_connectors
+):
+    results10 = benchmark.pedantic(
+        run_suite,
+        args=(sf10_dataset, sf10_connectors),
+        iterations=1,
+        rounds=1,
+    )
+    results3 = run_suite(sf3_dataset, sf3_connectors)
+
+    rows = [
+        [key] + [results10[key][q] for q in MICRO_QUERIES]
+        for key in SUT_KEYS
+    ]
+    print(banner("Table 3: query latencies in ms - scale factor 10"))
+    print(
+        render_table(
+            "",
+            ["System", "Point lookup", "1-hop", "2-hop", "Shortest path"],
+            rows,
+        )
+    )
+
+    # Neo4j/Cypher point lookups are scale-insensitive (paper: 9.1->11.2ms)
+    growth = (
+        results10["neo4j-cypher"]["point_lookup"]
+        / results3["neo4j-cypher"]["point_lookup"]
+    )
+    assert growth < 1.8, f"Neo4j lookup grew {growth:.2f}x"
+    # the SQL engines keep winning lookups at SF10
+    assert results10["postgres-sql"]["point_lookup"] == min(
+        r["point_lookup"] for r in results10.values()
+    )
+    # Sqlg shortest path: DNF (NaN), while the Titan variants complete
+    assert math.isnan(results10["sqlg"]["shortest_path"])
+    assert not math.isnan(results10["titan-c"]["shortest_path"])
+    assert not math.isnan(results10["neo4j-gremlin"]["shortest_path"])

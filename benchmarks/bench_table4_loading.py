@@ -1,0 +1,55 @@
+"""Table 4 — single-loader data ingestion for the TinkerPop systems.
+
+Paper shape: Neo4j's native store gives the best single-loader rates;
+Sqlg has the worst edge-insertion rate (each edge is an INSERT plus two
+index maintenances through the SQL layer); Titan-C pays a Cassandra round
+trip per KV write.
+"""
+
+from repro.core import make_connector
+from repro.core.report import render_table
+from repro.driver import sequential_load
+
+from conftest import banner
+
+TINKERPOP_SYSTEMS = ["neo4j-gremlin", "titan-c", "titan-b", "sqlg"]
+
+
+def run_loads(dataset):
+    reports = {}
+    for key in TINKERPOP_SYSTEMS:
+        connector = make_connector(key)
+        reports[key] = sequential_load(connector.provider, dataset)
+    return reports
+
+
+def test_table4_single_loader(benchmark, sf3_dataset):
+    reports = benchmark.pedantic(
+        run_loads, args=(sf3_dataset,), iterations=1, rounds=1
+    )
+    rows = [
+        [
+            key,
+            round(r.total_minutes, 2),
+            round(r.vertices_per_second),
+            round(r.edges_per_second),
+        ]
+        for key, r in reports.items()
+    ]
+    print(banner("Table 4: data loading, SF3 graph, single loader"))
+    print(
+        render_table(
+            "",
+            ["System", "Total time (min)", "Vertex / second",
+             "Edge / second"],
+            rows,
+        )
+    )
+    edge_rates = {k: r.edges_per_second for k, r in reports.items()}
+    vertex_rates = {k: r.vertices_per_second for k, r in reports.items()}
+    # Neo4j best at both rates; Sqlg worst at edges
+    assert max(edge_rates, key=edge_rates.get) == "neo4j-gremlin"
+    assert max(vertex_rates, key=vertex_rates.get) == "neo4j-gremlin"
+    assert min(edge_rates, key=edge_rates.get) == "sqlg"
+    # Titan-C pays remote round trips: slower than embedded Titan-B
+    assert edge_rates["titan-c"] < edge_rates["titan-b"]

@@ -1,0 +1,63 @@
+"""Shared state for the paper-reproduction benches.
+
+Heavy artifacts (datasets, loaded connectors) are built once per session.
+``REPRO_SCALE_DIVISOR`` (default 1000) controls how far below paper scale
+the datasets sit; every printed table restates it.  ``REPRO_REPS``
+(default 20) sets repetitions for the latency suites (the paper used 100;
+20 keeps the slowest Gremlin shortest-path runs tractable by default).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import SUT_KEYS, make_connector
+from repro.snb import GeneratorConfig, generate
+
+SCALE_DIVISOR = float(os.environ.get("REPRO_SCALE_DIVISOR", "1000"))
+REPETITIONS = int(os.environ.get("REPRO_REPS", "20"))
+
+
+def banner(title: str) -> str:
+    return (
+        f"\n{'=' * 72}\n{title}\n"
+        f"(scale divisor {SCALE_DIVISOR:g}; simulated time; "
+        f"{REPETITIONS} repetitions)\n{'=' * 72}"
+    )
+
+
+@pytest.fixture(scope="session")
+def sf3_dataset():
+    return generate(
+        GeneratorConfig(scale_factor=3, scale_divisor=SCALE_DIVISOR, seed=42)
+    )
+
+
+@pytest.fixture(scope="session")
+def sf10_dataset():
+    return generate(
+        GeneratorConfig(scale_factor=10, scale_divisor=SCALE_DIVISOR, seed=42)
+    )
+
+
+@pytest.fixture(scope="session")
+def sf3_connectors(sf3_dataset):
+    """Every system loaded with the SF3 snapshot."""
+    loaded = {}
+    for key in SUT_KEYS:
+        connector = make_connector(key)
+        connector.load(sf3_dataset)
+        loaded[key] = connector
+    return loaded
+
+
+@pytest.fixture(scope="session")
+def sf10_connectors(sf10_dataset):
+    loaded = {}
+    for key in SUT_KEYS:
+        connector = make_connector(key)
+        connector.load(sf10_dataset)
+        loaded[key] = connector
+    return loaded

@@ -1,0 +1,54 @@
+"""Figure 2 in action: the cost of the Gremlin Server layer.
+
+The same one-hop traversal is executed (a) embedded against the provider
+and (b) submitted to the Gremlin Server, for every TinkerPop backend.
+The server pays request round trips, traversal compilation, and
+per-element GraphSON serialization — the overhead behind the paper's
+conclusion that TinkerPop3 "incurs significant overhead".
+
+Run:  python examples/gremlin_overhead.py
+"""
+
+from repro.core import make_connector
+from repro.core.benchmark import WorkloadParams
+from repro.core.report import render_table
+from repro.simclock import CostModel, meter
+from repro.snb import GeneratorConfig, generate
+from repro.tinkerpop import Graph
+
+GREMLIN_SYSTEMS = ["neo4j-gremlin", "titan-c", "titan-b", "sqlg"]
+
+
+def main() -> None:
+    dataset = generate(GeneratorConfig(scale_factor=3, scale_divisor=4000))
+    person = WorkloadParams.curate(dataset, seed=1).person_ids[0]
+    model = CostModel()
+    rows = []
+    for key in GREMLIN_SYSTEMS:
+        connector = make_connector(key)
+        connector.load(dataset)
+
+        def traverse(g):
+            return g.V().has("person", "id", person).both("knows").values("id")
+
+        with meter() as embedded:
+            traverse(Graph(connector.provider).traversal()).toList()
+        with meter() as served:
+            connector.server.submit(traverse)
+        embedded_ms = embedded.cost_us(model) / 1000
+        served_ms = served.cost_us(model) / 1000
+        rows.append(
+            [key, round(embedded_ms, 3), round(served_ms, 3),
+             round(served_ms / embedded_ms, 1)]
+        )
+    print(
+        render_table(
+            "One-hop traversal: embedded vs Gremlin Server (simulated ms)",
+            ["Backend", "embedded", "via server", "overhead x"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

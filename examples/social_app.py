@@ -1,0 +1,99 @@
+"""A small social application built directly on the native graph engine.
+
+Shows the graph database as a downstream user would adopt it: Cypher for
+application queries, index-backed lookups, friend recommendations via the
+2-hop neighbourhood, and degrees-of-separation via shortestPath.
+
+Run:  python examples/social_app.py
+"""
+
+from repro.graphdb import GraphDatabase
+
+
+def main() -> None:
+    db = GraphDatabase("social-app")
+    db.create_index("User", "handle")
+    db.create_index("Post", "id")
+
+    # -- sign-ups -------------------------------------------------------
+    users = {
+        "ada": "Ada Lovelace",
+        "alan": "Alan Turing",
+        "grace": "Grace Hopper",
+        "edsger": "Edsger Dijkstra",
+        "barbara": "Barbara Liskov",
+        "donald": "Donald Knuth",
+    }
+    for handle, name in users.items():
+        db.execute(
+            "CREATE (u:User {handle: $h, name: $n})",
+            {"h": handle, "n": name},
+        )
+
+    # -- follows ---------------------------------------------------------
+    follows = [
+        ("ada", "alan"), ("alan", "grace"), ("grace", "barbara"),
+        ("barbara", "donald"), ("ada", "edsger"), ("edsger", "grace"),
+    ]
+    for a, b in follows:
+        db.execute(
+            "MATCH (a:User {handle: $a}), (b:User {handle: $b}) "
+            "CREATE (a)-[:FOLLOWS]->(b)",
+            {"a": a, "b": b},
+        )
+
+    # -- posting ----------------------------------------------------------
+    posts = [
+        (1, "grace", "Compilers are just translators with opinions."),
+        (2, "alan", "Can machines think?"),
+        (3, "barbara", "Abstraction is the key to managing complexity."),
+    ]
+    for pid, author, text in posts:
+        db.execute(
+            "MATCH (u:User {handle: $h}) "
+            "CREATE (p:Post {id: $id, text: $t})-[:AUTHORED]->(u)",
+            {"h": author, "id": pid, "t": text},
+        )
+
+    # -- timeline: posts by people ada follows ---------------------------------
+    timeline = db.execute(
+        "MATCH (me:User {handle: $h})-[:FOLLOWS]->(u:User)"
+        "<-[:AUTHORED]-(p:Post) RETURN u.name AS author, p.text AS text "
+        "ORDER BY author",
+        {"h": "ada"},
+    )
+    print("ada's timeline:")
+    for author, text in timeline:
+        print(f"  {author}: {text}")
+
+    # -- who to follow: friends-of-friends ada doesn't follow yet -------------
+    suggestions = db.execute(
+        "MATCH (me:User {handle: $h})-[:FOLLOWS]->(:User)-[:FOLLOWS]->"
+        "(s:User) WHERE s.handle <> $h "
+        "RETURN DISTINCT s.name AS name ORDER BY name",
+        {"h": "ada"},
+    )
+    print("\nsuggested follows for ada:")
+    for (name,) in suggestions:
+        print(f"  {name}")
+
+    # -- degrees of separation ----------------------------------------------------
+    rows = db.execute(
+        "MATCH p = shortestPath((a:User {handle: $a})-[:FOLLOWS*]-"
+        "(b:User {handle: $b})) RETURN length(p)",
+        {"a": "ada", "b": "donald"},
+    )
+    print(f"\nada and donald are {rows[0][0]} hops apart")
+
+    # -- engagement stats -------------------------------------------------------------
+    stats = db.execute(
+        "MATCH (p:Post)-[:AUTHORED]->(u:User) "
+        "RETURN u.name AS name, count(*) AS posts ORDER BY posts DESC, name"
+    )
+    print("\nposts per user:")
+    for name, count in stats:
+        print(f"  {name}: {count}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Mini Table 2: the four micro queries across all eight systems.
+
+A faster, smaller version of ``benchmarks/bench_table2_latency_sf3.py``
+meant for interactive exploration.
+
+Run:  python examples/system_comparison.py [scale_divisor]
+"""
+
+import math
+import sys
+
+from repro.core import SUT_KEYS, make_connector
+from repro.core.benchmark import MICRO_QUERIES, LatencyBenchmark
+from repro.core.report import render_table
+from repro.snb import GeneratorConfig, generate
+
+
+def main() -> None:
+    divisor = float(sys.argv[1]) if len(sys.argv) > 1 else 4000.0
+    dataset = generate(GeneratorConfig(scale_factor=3, scale_divisor=divisor))
+    print(
+        f"SNB SF3 / divisor {divisor:g}: {dataset.vertex_count():,} "
+        f"vertices, {dataset.edge_count():,} edges"
+    )
+    bench = LatencyBenchmark(dataset, repetitions=10)
+    rows = []
+    for key in SUT_KEYS:
+        connector = make_connector(key)
+        connector.load(dataset)
+        results = bench.run(connector)
+        rows.append(
+            [key]
+            + [
+                None if math.isnan(results[q]) else round(results[q], 3)
+                for q in MICRO_QUERIES
+            ]
+        )
+    print(
+        render_table(
+            "Mean simulated latency (ms); '-' marks DNF",
+            ["System", "point lookup", "1-hop", "2-hop", "shortest path"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

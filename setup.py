@@ -1,0 +1,6 @@
+"""Setuptools shim: the offline environment lacks the wheel package, so the
+legacy ``setup.py develop`` editable-install path is used instead of PEP 660."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,16 @@
+"""repro - a from-scratch reproduction of Do We Need Specialized Graph
+Databases? Benchmarking Real-Time Social Networking Applications
+(Pacaci, Zhou, Lin, Ozsu; GRADES @ SIGMOD 2017).
+
+Public entry points:
+
+* :mod:`repro.core`   - the benchmark API: connectors for the eight
+  systems under test, latency suites, metrics, and reports.
+* :mod:`repro.snb`    - the LDBC SNB datagen analogue.
+* :mod:`repro.driver` - workload driver: loaders, schedulers, and the
+  real-time interactive runner.
+
+See README.md for a tour and DESIGN.md for the architecture.
+"""
+
+__version__ = "1.0.0"

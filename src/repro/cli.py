@@ -1,0 +1,296 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``     write an SNB dataset as LDBC-style CSVs
+``latency``      the Table 2/3 micro benchmark for chosen systems
+``interactive``  the Figure 3 real-time workload for one system
+``load``         the Table 4 / Appendix A ingestion experiment
+``validate``     cross-check that all systems answer queries identically
+``systems``      list the eight SUT keys
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from collections.abc import Sequence
+
+from repro.core import SUT_KEYS, make_connector
+from repro.core.benchmark import (
+    MICRO_QUERIES,
+    LatencyBenchmark,
+    dataset_statistics,
+)
+from repro.core.report import render_series, render_table
+from repro.driver import (
+    InteractiveConfig,
+    InteractiveWorkloadRunner,
+    concurrent_load,
+    sequential_load,
+)
+from repro.snb import GeneratorConfig, generate
+from repro.snb.serializer import serialize_to_dir
+
+
+def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale-factor", type=float, default=3.0,
+        help="LDBC scale factor (paper uses 3 and 10)",
+    )
+    parser.add_argument(
+        "--scale-divisor", type=float, default=4000.0,
+        help="shrink factor below paper scale (default 4000)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def _dataset(args: argparse.Namespace):
+    return generate(
+        GeneratorConfig(
+            scale_factor=args.scale_factor,
+            scale_divisor=args.scale_divisor,
+            seed=args.seed,
+        )
+    )
+
+
+def _parse_systems(value: str) -> list[str]:
+    if value == "all":
+        return list(SUT_KEYS)
+    keys = [k.strip() for k in value.split(",") if k.strip()]
+    unknown = [k for k in keys if k not in SUT_KEYS]
+    if unknown:
+        raise SystemExit(
+            f"unknown systems {unknown}; known: {', '.join(SUT_KEYS)}"
+        )
+    return keys
+
+
+def cmd_systems(_args: argparse.Namespace) -> int:
+    for key in SUT_KEYS:
+        connector_cls = type(make_connector(key))
+        print(f"{key:16s} {connector_cls.system:10s} {connector_cls.language}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    dataset = _dataset(args)
+    stats = dataset_statistics(dataset)
+    sizes = serialize_to_dir(dataset, args.out)
+    print(
+        f"wrote {len(sizes)} CSV files to {args.out} "
+        f"({sum(sizes.values()) / 1e6:.2f} MB)"
+    )
+    print(
+        f"vertices={stats['vertices']:,} edges={stats['edges']:,} "
+        f"updates={len(dataset.updates):,}"
+    )
+    return 0
+
+
+def cmd_latency(args: argparse.Namespace) -> int:
+    dataset = _dataset(args)
+    systems = _parse_systems(args.systems)
+    bench = LatencyBenchmark(dataset, repetitions=args.reps)
+    rows = []
+    for key in systems:
+        connector = make_connector(key)
+        connector.load(dataset)
+        results = bench.run(connector)
+        rows.append(
+            [key]
+            + [
+                None if math.isnan(results[q]) else results[q]
+                for q in MICRO_QUERIES
+            ]
+        )
+    print(
+        render_table(
+            f"Mean simulated latency (ms), SF{args.scale_factor:g} / "
+            f"divisor {args.scale_divisor:g}, {args.reps} reps "
+            f"('-' marks DNF)",
+            ["System", "point lookup", "1-hop", "2-hop", "shortest path"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_interactive(args: argparse.Namespace) -> int:
+    dataset = _dataset(args)
+    connector = make_connector(args.system)
+    connector.load(dataset)
+    config = InteractiveConfig(
+        readers=args.readers,
+        duration_ms=args.duration_ms,
+        window_ms=args.duration_ms / 20,
+    )
+    result = InteractiveWorkloadRunner(connector, dataset, config).run()
+    print(
+        f"{args.system}: {config.readers} readers + 1 writer, "
+        f"{config.duration_ms:.0f} ms simulated"
+    )
+    print(f"  reads/s : {result.read_throughput:,.0f}")
+    print(f"  writes/s: {result.write_throughput:,.0f}")
+    print(f"  read p99: {result.read_latency.percentile(99):.3f} ms")
+    if result.server_crashed:
+        print("  !! Gremlin Server crashed under load")
+    print(
+        render_series(
+            "write throughput over time",
+            {args.system: result.write_windows.series()},
+        )
+    )
+    return 0
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    dataset = _dataset(args)
+    connector = make_connector(args.system)
+    provider = getattr(connector, "provider", None)
+    if provider is None:
+        raise SystemExit(
+            f"{args.system} is not a TinkerPop system; the loading "
+            f"experiment covers the Gremlin-loaded systems"
+        )
+    if args.loaders == 1:
+        report = sequential_load(provider, dataset)
+    else:
+        if not connector.supports_concurrent_loading():
+            raise SystemExit(
+                f"{args.system} does not support concurrent loading"
+            )
+        report = concurrent_load(provider, dataset, args.loaders)
+    print(
+        render_table(
+            f"{args.system}, {args.loaders} loader(s)",
+            ["total min", "vertices/s", "edges/s"],
+            [[
+                round(report.total_minutes, 2),
+                round(report.vertices_per_second),
+                round(report.edges_per_second),
+            ]],
+        )
+    )
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    """Load every chosen system and cross-check their answers."""
+    from repro.core.benchmark import WorkloadParams
+
+    dataset = _dataset(args)
+    systems = _parse_systems(args.systems)
+    if len(systems) < 2:
+        raise SystemExit("validation needs at least two systems")
+    connectors = {}
+    for key in systems:
+        connector = make_connector(key)
+        connector.load(dataset)
+        connectors[key] = connector
+    params = WorkloadParams.curate(dataset, count=args.checks, seed=args.seed)
+    reference_key = systems[0]
+    mismatches = 0
+    checks = 0
+
+    def compare(op: str, *op_args) -> None:
+        nonlocal mismatches, checks
+        answers = {
+            key: getattr(c, op)(*op_args) for key, c in connectors.items()
+        }
+        reference = answers[reference_key]
+        for key, answer in answers.items():
+            checks += 1
+            if _normalize(answer) != _normalize(reference):
+                mismatches += 1
+                print(
+                    f"MISMATCH {op}{op_args}: {key} disagrees with "
+                    f"{reference_key}"
+                )
+
+    for pid in params.person_ids:
+        compare("point_lookup", pid)
+        compare("one_hop", pid)
+        compare("two_hop", pid)
+        compare("person_friends", pid)
+        compare("friends_recent_posts", pid, 10)
+    for pair in params.path_pairs:
+        compare("shortest_path", *pair)
+    for mid in params.message_ids:
+        compare("message_content", mid)
+        compare("message_creator", mid)
+    print(
+        f"{checks} cross-checks over {len(systems)} systems: "
+        f"{mismatches} mismatches"
+    )
+    return 1 if mismatches else 0
+
+
+def _normalize(value):
+    if isinstance(value, list):
+        return [tuple(v) if isinstance(v, (list, tuple)) else v for v in value]
+    if isinstance(value, tuple):
+        return tuple(value)
+    return value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("systems", help="list the systems under test")
+    p.set_defaults(fn=cmd_systems)
+
+    p = sub.add_parser("generate", help="write a dataset as CSVs")
+    _add_dataset_args(p)
+    p.add_argument("--out", required=True, help="output directory")
+    p.set_defaults(fn=cmd_generate)
+
+    p = sub.add_parser("latency", help="Table 2/3 micro benchmark")
+    _add_dataset_args(p)
+    p.add_argument("--systems", default="all",
+                   help="comma-separated SUT keys or 'all'")
+    p.add_argument("--reps", type=int, default=10)
+    p.set_defaults(fn=cmd_latency)
+
+    p = sub.add_parser("interactive", help="Figure 3 workload")
+    _add_dataset_args(p)
+    p.add_argument("--system", required=True, choices=SUT_KEYS)
+    p.add_argument("--readers", type=int, default=16)
+    p.add_argument("--duration-ms", type=float, default=1000.0)
+    p.set_defaults(fn=cmd_interactive)
+
+    p = sub.add_parser(
+        "validate", help="cross-check answers across systems"
+    )
+    _add_dataset_args(p)
+    p.add_argument("--systems", default="all")
+    p.add_argument("--checks", type=int, default=5,
+                   help="curated parameters per operation")
+    p.set_defaults(fn=cmd_validate)
+
+    p = sub.add_parser("load", help="Table 4 / Appendix A ingestion")
+    _add_dataset_args(p)
+    p.add_argument(
+        "--system", required=True,
+        choices=["neo4j-gremlin", "titan-c", "titan-b", "sqlg"],
+    )
+    p.add_argument("--loaders", type=int, default=1)
+    p.set_defaults(fn=cmd_load)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

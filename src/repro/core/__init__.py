@@ -1,0 +1,35 @@
+"""Public benchmarking API.
+
+* :mod:`repro.core.connectors` — one :class:`Connector` per system/
+  language combination from the paper (8 total).
+* :mod:`repro.core.benchmark`  — latency suites (Tables 2–3), dataset
+  statistics (Table 1), and helpers shared by the benches.
+* :mod:`repro.core.metrics`    — latency/throughput collection.
+* :mod:`repro.core.report`     — paper-style text tables.
+
+Quickstart::
+
+    from repro.core import make_connector, SUT_KEYS
+    from repro.snb import GeneratorConfig, generate
+
+    dataset = generate(GeneratorConfig(scale_factor=3))
+    connector = make_connector("postgres-sql")
+    connector.load(dataset)
+    print(connector.point_lookup(dataset.persons[0].id))
+"""
+
+from repro.core.connectors import SUT_KEYS, Connector, make_connector
+from repro.core.benchmark import LatencyBenchmark, dataset_statistics
+from repro.core.metrics import LatencyRecorder, ThroughputWindow
+from repro.core.report import render_table
+
+__all__ = [
+    "Connector",
+    "make_connector",
+    "SUT_KEYS",
+    "LatencyBenchmark",
+    "dataset_statistics",
+    "LatencyRecorder",
+    "ThroughputWindow",
+    "render_table",
+]

@@ -1,0 +1,618 @@
+"""Gremlin connectors: one implementation, four TinkerPop backends.
+
+This is the paper's contribution #2 realized: a single Gremlin
+implementation of the workload that runs unmodified against any
+TinkerPop3-compliant database (Neo4j, Titan-Cassandra, Titan-BerkeleyDB,
+Sqlg).  All interactive traffic goes through the Gremlin Server
+(Figure 2); only bulk loading uses embedded traversals (the LDBC Gremlin
+loading utilities).
+"""
+
+from __future__ import annotations
+
+from repro.core.connectors.base import Connector, OperationFailed
+from repro.graphdb.tinkerpop_adapter import Neo4jProvider
+from repro.snb.datagen import SnbDataset
+from repro.snb.schema import (
+    Comment,
+    Forum,
+    ForumMembership,
+    Knows,
+    Like,
+    Person,
+    Post,
+)
+from repro.sqlg import SqlgProvider
+from repro.tinkerpop import Graph, GremlinServer, GremlinServerError, P
+from repro.tinkerpop.structure import GraphProvider, Vertex
+from repro.titan import titan_berkeley, titan_cassandra
+
+#: (label, key) pairs indexed in every TinkerPop backend ("indexes on
+#: vertex IDs only" — the paper's fairness rule)
+VERTEX_INDEXES = [
+    ("person", "id"), ("forum", "id"), ("post", "id"), ("comment", "id"),
+    ("tag", "id"), ("place", "id"), ("organisation", "id"),
+]
+
+
+def iter_vertex_specs(dataset: SnbDataset):
+    """All vertices as ``(label, props)`` in load order."""
+    for place in dataset.places:
+        yield "place", {"id": place.id, "name": place.name,
+                        "type": place.kind}
+    for tc in dataset.tag_classes:
+        yield "tagclass", {"id": tc.id, "name": tc.name}
+    for tag in dataset.tags:
+        yield "tag", {"id": tag.id, "name": tag.name}
+    for org in dataset.organisations:
+        yield "organisation", {"id": org.id, "name": org.name,
+                               "type": org.kind}
+    for person in dataset.persons:
+        yield "person", {
+            "id": person.id, "firstName": person.first_name,
+            "lastName": person.last_name, "gender": person.gender,
+            "birthday": person.birthday,
+            "creationDate": person.creation_date,
+            "browserUsed": person.browser_used,
+            "locationIP": person.location_ip,
+        }
+    for forum in dataset.forums:
+        yield "forum", {"id": forum.id, "title": forum.title,
+                        "creationDate": forum.creation_date}
+    for post in dataset.posts:
+        yield "post", {
+            "id": post.id, "creationDate": post.creation_date,
+            "content": post.content, "length": post.length,
+            "browserUsed": post.browser_used,
+            "locationIP": post.location_ip, "language": post.language,
+        }
+    for comment in dataset.comments:
+        yield "comment", {
+            "id": comment.id, "creationDate": comment.creation_date,
+            "content": comment.content, "length": comment.length,
+            "browserUsed": comment.browser_used,
+            "locationIP": comment.location_ip,
+        }
+
+
+def iter_edge_specs(dataset: SnbDataset):
+    """All edges as ``(label, out_id, in_id, props)`` in load order.
+
+    Edges only reference vertices yielded by :func:`iter_vertex_specs`.
+    """
+    for place in dataset.places:
+        if place.part_of is not None:
+            yield "isPartOf", place.id, place.part_of, {}
+    for tc in dataset.tag_classes:
+        if tc.subclass_of is not None:
+            yield "isSubclassOf", tc.id, tc.subclass_of, {}
+    for tag in dataset.tags:
+        yield "hasType", tag.id, tag.tag_class, {}
+    for org in dataset.organisations:
+        yield "isLocatedIn", org.id, org.place, {}
+    for person in dataset.persons:
+        yield "isLocatedIn", person.id, person.city, {}
+        for tag_id in person.interests:
+            yield "hasInterest", person.id, tag_id, {}
+        if person.university is not None:
+            yield "studyAt", person.id, person.university, {
+                "classYear": person.class_year}
+        if person.company is not None:
+            yield "workAt", person.id, person.company, {
+                "workFrom": person.work_from}
+    for knows in dataset.knows:
+        yield "knows", knows.person1, knows.person2, {
+            "creationDate": knows.creation_date}
+    for forum in dataset.forums:
+        yield "hasModerator", forum.id, forum.moderator, {}
+        for tag_id in forum.tags:
+            yield "hasTag", forum.id, tag_id, {}
+    for m in dataset.memberships:
+        yield "hasMember", m.forum, m.person, {"joinDate": m.join_date}
+    for post in dataset.posts:
+        yield "hasCreator", post.id, post.creator, {}
+        yield "containerOf", post.forum, post.id, {}
+        yield "isLocatedIn", post.id, post.country, {}
+        for tag_id in post.tags:
+            yield "hasTag", post.id, tag_id, {}
+    for comment in dataset.comments:
+        yield "hasCreator", comment.id, comment.creator, {}
+        yield "replyOf", comment.id, comment.reply_of, {}
+        yield "rootPost", comment.id, comment.root_post, {}
+        yield "isLocatedIn", comment.id, comment.country, {}
+        for tag_id in comment.tags:
+            yield "hasTag", comment.id, tag_id, {}
+    for like in dataset.likes:
+        yield "likes", like.person, like.message, {
+            "creationDate": like.creation_date}
+
+
+def load_dataset_into_provider(
+    provider: GraphProvider, dataset: SnbDataset
+) -> tuple[int, int]:
+    """The LDBC Gremlin loading utility: embedded addV/addE traversals.
+
+    Returns ``(vertices_loaded, edges_loaded)`` - the quantities Table 4
+    rates are computed from.
+    """
+    g = Graph(provider).traversal()
+    vertex: dict[int, Vertex] = {}
+    vertices = edges = 0
+    for label, props in iter_vertex_specs(dataset):
+        t = g.addV(label)
+        for key, value in props.items():
+            t.property(key, value)
+        vertex[props["id"]] = t.next()
+        vertices += 1
+    for label, out_id, in_id, props in iter_edge_specs(dataset):
+        t = g.V(vertex[out_id].id).addE(label).to(vertex[in_id])
+        for key, value in props.items():
+            t.property(key, value)
+        t.iterate()
+        edges += 1
+    return vertices, edges
+
+
+class GremlinConnector(Connector):
+    """Shared Gremlin implementation; subclasses choose the backend."""
+
+    language = "Gremlin"
+
+    def __init__(self) -> None:
+        self.provider = self._make_provider()
+        self.server = GremlinServer(self.provider)
+        self._vertex_cache: dict[int, Vertex] = {}
+
+    def _make_provider(self) -> GraphProvider:
+        raise NotImplementedError
+
+    # -- loading -----------------------------------------------------------------
+
+    def load(self, dataset: SnbDataset) -> None:
+        load_dataset_into_provider(self.provider, dataset)
+        self._flush_backend()
+
+    def _flush_backend(self) -> None:
+        backend = getattr(self.provider, "backend", None)
+        if backend is not None and hasattr(backend, "flush"):
+            backend.flush()
+
+    def size_bytes(self) -> int:
+        return self.provider.size_bytes()
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _submit(self, build) -> list:
+        try:
+            return self.server.submit(build)
+        except GremlinServerError as exc:
+            raise OperationFailed(str(exc)) from exc
+
+    def _person_vertex(self, person_id: int) -> Vertex:
+        cached = self._vertex_cache.get(person_id)
+        if cached is not None:
+            return cached
+        results = self._submit(
+            lambda g: g.V().has("person", "id", person_id).limit(1)
+        )
+        if not results:
+            raise OperationFailed(f"no person {person_id}")
+        self._vertex_cache[person_id] = results[0]
+        return results[0]
+
+    def _message_vertex(self, message_id: int) -> Vertex | None:
+        for label in ("post", "comment"):
+            results = self._submit(
+                lambda g, label=label: g.V().has(
+                    label, "id", message_id
+                ).limit(1)
+            )
+            if results:
+                return results[0]
+        return None
+
+    # -- micro reads ------------------------------------------------------------------
+
+    def point_lookup(self, person_id: int) -> tuple:
+        maps = self._submit(
+            lambda g: g.V().has("person", "id", person_id).valueMap()
+        )
+        if not maps:
+            return ()
+        m = maps[0]
+        return (m.get("firstName"), m.get("lastName"), m.get("gender"))
+
+    def one_hop(self, person_id: int) -> list[int]:
+        ids = self._submit(
+            lambda g: g.V().has("person", "id", person_id)
+            .both("knows").values("id")
+        )
+        return sorted(ids)
+
+    def two_hop(self, person_id: int) -> list[int]:
+        ids = self._submit(
+            lambda g: g.V().has("person", "id", person_id)
+            .both("knows").both("knows")
+            .has("id", P.neq(person_id)).dedup().values("id")
+        )
+        return sorted(ids)
+
+    def shortest_path(self, person1: int, person2: int) -> int | None:
+        if person1 == person2:
+            return 0
+        paths = self._submit(
+            lambda g: g.V().has("person", "id", person1)
+            .repeat(_anon_both_knows())
+            .until(_anon_has_id(person2))
+            .path().limit(1)
+        )
+        if not paths:
+            return None
+        return len(paths[0]) - 1
+
+    # -- short reads ----------------------------------------------------------------------
+
+    def person_profile(self, person_id: int) -> tuple:
+        maps = self._submit(
+            lambda g: g.V().has("person", "id", person_id).valueMap()
+        )
+        if not maps:
+            return ()
+        m = maps[0]
+        cities = self._submit(
+            lambda g: g.V().has("person", "id", person_id)
+            .out("isLocatedIn").values("id")
+        )
+        return (
+            m.get("firstName"), m.get("lastName"), m.get("gender"),
+            m.get("birthday"), m.get("browserUsed"),
+            cities[0] if cities else None,
+        )
+
+    def person_recent_posts(self, person_id: int, limit: int = 10) -> list:
+        maps = self._submit(
+            lambda g: g.V().has("person", "id", person_id)
+            .in_("hasCreator")
+            .order().by("creationDate", descending=True)
+            .limit(limit).valueMap()
+        )
+        rows = [(m["id"], m.get("content"), m["creationDate"]) for m in maps]
+        rows.sort(key=lambda r: (-r[2], -r[0]))
+        return rows
+
+    def person_friends(self, person_id: int) -> list[tuple]:
+        maps = self._submit(
+            lambda g: g.V().has("person", "id", person_id)
+            .both("knows").order().by("id").valueMap()
+        )
+        return [(m["id"], m.get("firstName"), m.get("lastName")) for m in maps]
+
+    def message_content(self, message_id: int) -> tuple:
+        for label in ("post", "comment"):
+            maps = self._submit(
+                lambda g, label=label: g.V().has(
+                    label, "id", message_id
+                ).valueMap()
+            )
+            if maps:
+                return (maps[0].get("content"), maps[0]["creationDate"])
+        return ()
+
+    def message_creator(self, message_id: int) -> tuple:
+        for label in ("post", "comment"):
+            maps = self._submit(
+                lambda g, label=label: g.V().has(label, "id", message_id)
+                .out("hasCreator").valueMap()
+            )
+            if maps:
+                m = maps[0]
+                return (m["id"], m.get("firstName"), m.get("lastName"))
+        return ()
+
+    def message_forum(self, message_id: int) -> tuple:
+        maps = self._submit(
+            lambda g: g.V().has("post", "id", message_id)
+            .in_("containerOf").valueMap()
+        )
+        if not maps:
+            maps = self._submit(
+                lambda g: g.V().has("comment", "id", message_id)
+                .out("rootPost").in_("containerOf").valueMap()
+            )
+        if not maps:
+            return ()
+        forum = maps[0]
+        moderators = self._submit(
+            lambda g: g.V().has("forum", "id", forum["id"])
+            .out("hasModerator").values("id")
+        )
+        return (forum["id"], forum.get("title"),
+                moderators[0] if moderators else None)
+
+    def message_replies(self, message_id: int) -> list[tuple]:
+        replies = []
+        for label in ("post", "comment"):
+            exists = self._submit(
+                lambda g, label=label: g.V().has(
+                    label, "id", message_id
+                ).limit(1)
+            )
+            if not exists:
+                continue
+            maps = self._submit(
+                lambda g, label=label: g.V().has(label, "id", message_id)
+                .in_("replyOf").valueMap()
+            )
+            for m in maps:
+                creators = self._submit(
+                    lambda g, mid=m["id"]: g.V().has("comment", "id", mid)
+                    .out("hasCreator").values("id")
+                )
+                replies.append(
+                    (m["id"], creators[0] if creators else None,
+                     m["creationDate"])
+                )
+            break
+        return sorted(replies)
+
+    def complex_two_hop(self, person_id: int, limit: int = 20) -> list[tuple]:
+        maps = self._submit(
+            lambda g: g.V().has("person", "id", person_id)
+            .both("knows").both("knows")
+            .has("id", P.neq(person_id)).dedup()
+            .order().by("id").limit(limit).valueMap()
+        )
+        return [(m["id"], m.get("firstName"), m.get("lastName")) for m in maps]
+
+    def friends_recent_posts(
+        self, person_id: int, limit: int = 10
+    ) -> list[tuple]:
+        # no server-side (date, id) compound ordering in the traversal
+        # API: fetch the whole neighbourhood activity and sort client-side
+        # (exactly the kind of work a declarative engine would push down)
+        maps = self._submit(
+            lambda g: g.V().has("person", "id", person_id)
+            .both("knows").in_("hasCreator").valueMap()
+        )
+        maps.sort(key=lambda m: (-m["creationDate"], -m["id"]))
+        maps = maps[:limit]
+        rows = []
+        for m in maps:
+            # the creator is one more request per message: the friend id
+            creators = self._submit(
+                lambda g, mid=m["id"]: g.V()
+                .has("post" if "language" in m else "comment", "id", mid)
+                .out("hasCreator").values("id")
+            )
+            rows.append(
+                (m["id"], creators[0] if creators else None,
+                 m.get("content"), m["creationDate"])
+            )
+        rows.sort(key=lambda r: (-r[3], -r[0]))
+        return rows[:limit]
+
+    # -- inserts -----------------------------------------------------------------------------
+
+    def _add_vertex(self, label: str, props: dict) -> None:
+        def build(g):
+            t = g.addV(label)
+            for key, value in props.items():
+                t.property(key, value)
+            return t
+
+        results = self._submit(build)
+        self._vertex_cache[props["id"]] = results[0]
+
+    def _add_edge(
+        self,
+        label: str,
+        out_label: str,
+        out_id: int,
+        in_label: str,
+        in_id: int,
+        props: dict | None = None,
+    ) -> None:
+        in_results = self._submit(
+            lambda g: g.V().has(in_label, "id", in_id).limit(1)
+        )
+        if not in_results:
+            raise OperationFailed(f"no {in_label} {in_id}")
+        target = in_results[0]
+
+        def build(g):
+            t = (
+                g.V().has(out_label, "id", out_id)
+                .addE(label).to(target)
+            )
+            for key, value in (props or {}).items():
+                t.property(key, value)
+            return t
+
+        self._submit(build)
+
+    def add_person(self, person: Person) -> None:
+        self._add_vertex("person", {
+            "id": person.id, "firstName": person.first_name,
+            "lastName": person.last_name, "gender": person.gender,
+            "birthday": person.birthday,
+            "creationDate": person.creation_date,
+            "browserUsed": person.browser_used,
+            "locationIP": person.location_ip,
+        })
+        self._add_edge("isLocatedIn", "person", person.id,
+                       "place", person.city)
+        for tag_id in person.interests:
+            self._add_edge("hasInterest", "person", person.id,
+                           "tag", tag_id)
+
+    def add_friendship(self, knows: Knows) -> None:
+        self._add_edge("knows", "person", knows.person1,
+                       "person", knows.person2,
+                       {"creationDate": knows.creation_date})
+
+    def add_forum(self, forum: Forum) -> None:
+        self._add_vertex("forum", {
+            "id": forum.id, "title": forum.title,
+            "creationDate": forum.creation_date,
+        })
+        self._add_edge("hasModerator", "forum", forum.id,
+                       "person", forum.moderator)
+        for tag_id in forum.tags:
+            self._add_edge("hasTag", "forum", forum.id, "tag", tag_id)
+
+    def add_forum_membership(self, membership: ForumMembership) -> None:
+        self._add_edge("hasMember", "forum", membership.forum,
+                       "person", membership.person,
+                       {"joinDate": membership.join_date})
+
+    def add_post(self, post: Post) -> None:
+        self._add_vertex("post", {
+            "id": post.id, "creationDate": post.creation_date,
+            "content": post.content, "length": post.length,
+            "browserUsed": post.browser_used,
+            "locationIP": post.location_ip, "language": post.language,
+        })
+        self._add_edge("hasCreator", "post", post.id,
+                       "person", post.creator)
+        self._add_edge("containerOf", "forum", post.forum, "post", post.id)
+        self._add_edge("isLocatedIn", "post", post.id,
+                       "place", post.country)
+        for tag_id in post.tags:
+            self._add_edge("hasTag", "post", post.id, "tag", tag_id)
+
+    def add_comment(self, comment: Comment) -> None:
+        self._add_vertex("comment", {
+            "id": comment.id, "creationDate": comment.creation_date,
+            "content": comment.content, "length": comment.length,
+            "browserUsed": comment.browser_used,
+            "locationIP": comment.location_ip,
+        })
+        self._add_edge("hasCreator", "comment", comment.id,
+                       "person", comment.creator)
+        # replyOf target may be a post or a comment: resolve by probe
+        for label in ("post", "comment"):
+            try:
+                self._add_edge("replyOf", "comment", comment.id,
+                               label, comment.reply_of)
+                break
+            except OperationFailed:
+                continue
+        self._add_edge("rootPost", "comment", comment.id,
+                       "post", comment.root_post)
+        self._add_edge("isLocatedIn", "comment", comment.id,
+                       "place", comment.country)
+
+    def add_like(self, like: Like) -> None:
+        for label in ("post", "comment"):
+            try:
+                self._add_edge("likes", "person", like.person,
+                               label, like.message,
+                               {"creationDate": like.creation_date})
+                return
+            except OperationFailed:
+                continue
+        raise OperationFailed(f"no message {like.message}")
+
+
+def _anon_both_knows():
+    from repro.tinkerpop import anon
+
+    return anon().both("knows").simplePath()
+
+
+def _anon_has_id(person_id: int):
+    from repro.tinkerpop import anon
+
+    return anon().has("id", P.eq(person_id))
+
+
+class Neo4jGremlinConnector(GremlinConnector):
+    """Neo4j reached through the Gremlin Server (same store as Cypher)."""
+
+    key = "neo4j-gremlin"
+    system = "Neo4j"
+
+    def _make_provider(self) -> GraphProvider:
+        provider = Neo4jProvider()
+        for label, key in VERTEX_INDEXES:
+            provider.store.create_index(label, key)
+        return provider
+
+    def supports_concurrent_loading(self) -> bool:
+        """Neo4j (Gremlin) does not support concurrent loading (App. A)."""
+        return False
+
+
+class TitanCassandraConnector(GremlinConnector):
+    key = "titan-c"
+    system = "Titan-C"
+
+    def _make_provider(self) -> GraphProvider:
+        provider = titan_cassandra()
+        for label, key in VERTEX_INDEXES:
+            provider.create_index(label, key)
+        return provider
+
+
+class TitanBerkeleyConnector(GremlinConnector):
+    key = "titan-b"
+    system = "Titan-B"
+    write_resources = ("titan-b-writer",)
+
+    def _make_provider(self) -> GraphProvider:
+        provider = titan_berkeley()
+        for label, key in VERTEX_INDEXES:
+            provider.create_index(label, key)
+        return provider
+
+
+class SqlgConnector(GremlinConnector):
+    key = "sqlg"
+    system = "Sqlg"
+
+    def _make_provider(self) -> GraphProvider:
+        provider = SqlgProvider()
+        provider.define_vertex_label("person", {
+            "id": int, "firstName": str, "lastName": str, "gender": str,
+            "birthday": int, "creationDate": int, "browserUsed": str,
+            "locationIP": str,
+        })
+        provider.define_vertex_label("forum", {
+            "id": int, "title": str, "creationDate": int,
+        })
+        provider.define_vertex_label("post", {
+            "id": int, "creationDate": int, "content": str, "length": int,
+            "browserUsed": str, "locationIP": str, "language": str,
+        })
+        provider.define_vertex_label("comment", {
+            "id": int, "creationDate": int, "content": str, "length": int,
+            "browserUsed": str, "locationIP": str,
+        })
+        provider.define_vertex_label("tag", {"id": int, "name": str})
+        provider.define_vertex_label("tagclass", {"id": int, "name": str})
+        provider.define_vertex_label(
+            "place", {"id": int, "name": str, "type": str}
+        )
+        provider.define_vertex_label(
+            "organisation", {"id": int, "name": str, "type": str}
+        )
+        for edge_label, props in [
+            ("knows", {"creationDate": int}),
+            ("hasMember", {"joinDate": int}),
+            ("hasModerator", {}),
+            ("containerOf", {}),
+            ("hasCreator", {}),
+            ("replyOf", {}),
+            ("rootPost", {}),
+            ("likes", {"creationDate": int}),
+            ("hasTag", {}),
+            ("hasInterest", {}),
+            ("isLocatedIn", {}),
+            ("isPartOf", {}),
+            ("isSubclassOf", {}),
+            ("hasType", {}),
+            ("studyAt", {"classYear": int}),
+            ("workAt", {"workFrom": int}),
+        ]:
+            provider.define_edge_label(edge_label, props)
+        return provider

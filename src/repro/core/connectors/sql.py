@@ -1,0 +1,455 @@
+"""SQL connectors: Postgres (row store) and Virtuoso (column store).
+
+Both run the *same* SQL over the same schema ("both systems use SQL
+queries over the same database schema" — Section 4.3); they differ in
+
+* storage layout (``row`` vs ``column``),
+* shortest path: Postgres evaluates a recursive BFS CTE, Virtuoso calls
+  its engine-internal ``shortest_path_len`` transitivity operator.
+
+Every statement pays one native-protocol ``client_rtt``; indexes exist on
+entity ids and edge endpoint columns only (the paper's fairness rule).
+"""
+
+from __future__ import annotations
+
+from repro.core.connectors.base import Connector
+from repro.relational.engine import Database
+from repro.simclock.ledger import charge
+from repro.snb.datagen import SnbDataset
+from repro.snb.schema import (
+    Comment,
+    Forum,
+    ForumMembership,
+    Knows,
+    Like,
+    Person,
+    Post,
+)
+
+_SCHEMA = [
+    "CREATE TABLE person (id BIGINT PRIMARY KEY, firstname TEXT, "
+    "lastname TEXT, gender TEXT, birthday BIGINT, creationdate BIGINT, "
+    "locationip TEXT, browserused TEXT, cityid BIGINT)",
+    "CREATE TABLE person_speaks (personid BIGINT, language TEXT)",
+    "CREATE TABLE person_email (personid BIGINT, email TEXT)",
+    "CREATE TABLE person_interest (personid BIGINT, tagid BIGINT)",
+    "CREATE TABLE person_studyat (personid BIGINT, orgid BIGINT, "
+    "classyear INT)",
+    "CREATE TABLE person_workat (personid BIGINT, orgid BIGINT, "
+    "workfrom INT)",
+    "CREATE TABLE knows (p1 BIGINT, p2 BIGINT, creationdate BIGINT)",
+    "CREATE TABLE forum (id BIGINT PRIMARY KEY, title TEXT, "
+    "creationdate BIGINT, moderatorid BIGINT)",
+    "CREATE TABLE forum_tag (forumid BIGINT, tagid BIGINT)",
+    "CREATE TABLE forum_member (forumid BIGINT, personid BIGINT, "
+    "joindate BIGINT)",
+    "CREATE TABLE post (id BIGINT PRIMARY KEY, creationdate BIGINT, "
+    "creatorid BIGINT, forumid BIGINT, content TEXT, length INT, "
+    "browserused TEXT, locationip TEXT, language TEXT, countryid BIGINT)",
+    "CREATE TABLE post_tag (postid BIGINT, tagid BIGINT)",
+    "CREATE TABLE comment (id BIGINT PRIMARY KEY, creationdate BIGINT, "
+    "creatorid BIGINT, replyof BIGINT, rootpost BIGINT, content TEXT, "
+    "length INT, browserused TEXT, locationip TEXT, countryid BIGINT)",
+    "CREATE TABLE comment_tag (commentid BIGINT, tagid BIGINT)",
+    "CREATE TABLE likes (personid BIGINT, messageid BIGINT, "
+    "creationdate BIGINT)",
+    "CREATE TABLE tag (id BIGINT PRIMARY KEY, name TEXT, classid BIGINT)",
+    "CREATE TABLE tagclass (id BIGINT PRIMARY KEY, name TEXT, "
+    "subclassof BIGINT)",
+    "CREATE TABLE place (id BIGINT PRIMARY KEY, name TEXT, type TEXT, "
+    "partof BIGINT)",
+    "CREATE TABLE organisation (id BIGINT PRIMARY KEY, name TEXT, "
+    "type TEXT, placeid BIGINT)",
+]
+
+_INDEXES = [
+    "CREATE INDEX ON knows (p1) USING HASH",
+    "CREATE INDEX ON knows (p2) USING HASH",
+    "CREATE INDEX ON forum_member (forumid) USING HASH",
+    "CREATE INDEX ON forum_member (personid) USING HASH",
+    "CREATE INDEX ON post (creatorid) USING HASH",
+    "CREATE INDEX ON post (forumid) USING HASH",
+    "CREATE INDEX ON comment (creatorid) USING HASH",
+    "CREATE INDEX ON comment (replyof) USING HASH",
+    "CREATE INDEX ON likes (personid) USING HASH",
+    "CREATE INDEX ON likes (messageid) USING HASH",
+]
+
+_BFS_SQL = (
+    "WITH RECURSIVE bfs (node, depth) AS ("
+    "  SELECT k.p2, 1 FROM knows k WHERE k.p1 = ?"
+    "  UNION"
+    "  SELECT k.p2, b.depth + 1 FROM bfs b"
+    "    JOIN knows k ON k.p1 = b.node WHERE b.depth < 12"
+    ") SELECT MIN(depth) FROM bfs WHERE node = ?"
+)
+
+
+class SqlConnector(Connector):
+    """Shared implementation; see :class:`PostgresConnector` and
+    :class:`VirtuosoSqlConnector` for the two configurations."""
+
+    storage = "row"
+    transitive_support = False
+
+    def __init__(self) -> None:
+        self.db = Database(
+            self.storage,
+            name=self.key,
+            transitive_support=self.transitive_support,
+        )
+        for ddl in _SCHEMA:
+            self.db.execute(ddl)
+        for ddl in _INDEXES:
+            self.db.execute(ddl)
+
+    # -- loading -----------------------------------------------------------------
+
+    def load(self, dataset: SnbDataset) -> None:
+        """Bulk path: straight into the storage layer (COPY-style), one
+        transaction, one fsync."""
+        catalog = self.db.catalog
+        t = catalog.table
+        with self.db.transaction():
+            for p in dataset.places:
+                t("place").insert((p.id, p.name, p.kind, p.part_of))
+            for tc in dataset.tag_classes:
+                t("tagclass").insert((tc.id, tc.name, tc.subclass_of))
+            for tag in dataset.tags:
+                t("tag").insert((tag.id, tag.name, tag.tag_class))
+            for org in dataset.organisations:
+                t("organisation").insert(
+                    (org.id, org.name, org.kind, org.place)
+                )
+            for person in dataset.persons:
+                self._load_person(person)
+            for knows in dataset.knows:
+                t("knows").insert(
+                    (knows.person1, knows.person2, knows.creation_date)
+                )
+                t("knows").insert(
+                    (knows.person2, knows.person1, knows.creation_date)
+                )
+            for forum in dataset.forums:
+                t("forum").insert(
+                    (forum.id, forum.title, forum.creation_date,
+                     forum.moderator)
+                )
+                for tag_id in forum.tags:
+                    t("forum_tag").insert((forum.id, tag_id))
+            for m in dataset.memberships:
+                t("forum_member").insert((m.forum, m.person, m.join_date))
+            for post in dataset.posts:
+                t("post").insert(
+                    (post.id, post.creation_date, post.creator, post.forum,
+                     post.content, post.length, post.browser_used,
+                     post.location_ip, post.language, post.country)
+                )
+                for tag_id in post.tags:
+                    t("post_tag").insert((post.id, tag_id))
+            for c in dataset.comments:
+                t("comment").insert(
+                    (c.id, c.creation_date, c.creator, c.reply_of,
+                     c.root_post, c.content, c.length, c.browser_used,
+                     c.location_ip, c.country)
+                )
+                for tag_id in c.tags:
+                    t("comment_tag").insert((c.id, tag_id))
+            for like in dataset.likes:
+                t("likes").insert(
+                    (like.person, like.message, like.creation_date)
+                )
+
+    def _load_person(self, person: Person) -> None:
+        t = self.db.catalog.table
+        t("person").insert(
+            (person.id, person.first_name, person.last_name, person.gender,
+             person.birthday, person.creation_date, person.location_ip,
+             person.browser_used, person.city)
+        )
+        for language in person.speaks:
+            t("person_speaks").insert((person.id, language))
+        for email in person.emails:
+            t("person_email").insert((person.id, email))
+        for tag_id in person.interests:
+            t("person_interest").insert((person.id, tag_id))
+        if person.university is not None:
+            t("person_studyat").insert(
+                (person.id, person.university, person.class_year)
+            )
+        if person.company is not None:
+            t("person_workat").insert(
+                (person.id, person.company, person.work_from)
+            )
+
+    def size_bytes(self) -> int:
+        return self.db.size_bytes()
+
+    # -- micro reads ---------------------------------------------------------------
+
+    def _query(self, sql: str, params=()) -> list[tuple]:
+        charge("client_rtt")
+        return self.db.query(sql, params)
+
+    def _execute(self, sql: str, params=()) -> None:
+        charge("client_rtt")
+        self.db.execute(sql, params)
+
+    def point_lookup(self, person_id: int) -> tuple:
+        rows = self._query(
+            "SELECT firstname, lastname, gender FROM person WHERE id = ?",
+            (person_id,),
+        )
+        return rows[0] if rows else ()
+
+    def one_hop(self, person_id: int) -> list[int]:
+        rows = self._query(
+            "SELECT p2 FROM knows WHERE p1 = ? ORDER BY p2", (person_id,)
+        )
+        return [r[0] for r in rows]
+
+    def two_hop(self, person_id: int) -> list[int]:
+        rows = self._query(
+            "SELECT DISTINCT k2.p2 FROM knows k1 "
+            "JOIN knows k2 ON k2.p1 = k1.p2 "
+            "WHERE k1.p1 = ? AND k2.p2 <> ? ORDER BY k2.p2",
+            (person_id, person_id),
+        )
+        return [r[0] for r in rows]
+
+    def shortest_path(self, person1: int, person2: int) -> int | None:
+        if person1 == person2:
+            return 0
+        if self.transitive_support:
+            rows = self._query(
+                "SELECT shortest_path_len('knows', 'p1', 'p2', ?, ?)",
+                (person1, person2),
+            )
+        else:
+            rows = self._query(_BFS_SQL, (person1, person2))
+        return rows[0][0] if rows else None
+
+    # -- short reads -------------------------------------------------------------------
+
+    def person_profile(self, person_id: int) -> tuple:
+        rows = self._query(
+            "SELECT firstname, lastname, gender, birthday, browserused, "
+            "cityid FROM person WHERE id = ?",
+            (person_id,),
+        )
+        return rows[0] if rows else ()
+
+    def person_recent_posts(self, person_id: int, limit: int = 10) -> list:
+        limit = int(limit)
+        posts = self._query(
+            "SELECT id, content, creationdate FROM post "
+            "WHERE creatorid = ? ORDER BY creationdate DESC, id DESC "
+            f"LIMIT {limit}",
+            (person_id,),
+        )
+        comments = self._query(
+            "SELECT id, content, creationdate FROM comment "
+            "WHERE creatorid = ? ORDER BY creationdate DESC, id DESC "
+            f"LIMIT {limit}",
+            (person_id,),
+        )
+        merged = sorted(
+            posts + comments, key=lambda r: (-r[2], -r[0])
+        )
+        return merged[:limit]
+
+    def person_friends(self, person_id: int) -> list[tuple]:
+        return self._query(
+            "SELECT p.id, p.firstname, p.lastname FROM knows k "
+            "JOIN person p ON p.id = k.p2 WHERE k.p1 = ? ORDER BY p.id",
+            (person_id,),
+        )
+
+    def message_content(self, message_id: int) -> tuple:
+        rows = self._query(
+            "SELECT content, creationdate FROM post WHERE id = ?",
+            (message_id,),
+        )
+        if not rows:
+            rows = self._query(
+                "SELECT content, creationdate FROM comment WHERE id = ?",
+                (message_id,),
+            )
+        return rows[0] if rows else ()
+
+    def message_creator(self, message_id: int) -> tuple:
+        rows = self._query(
+            "SELECT p.id, p.firstname, p.lastname FROM post m "
+            "JOIN person p ON p.id = m.creatorid WHERE m.id = ?",
+            (message_id,),
+        )
+        if not rows:
+            rows = self._query(
+                "SELECT p.id, p.firstname, p.lastname FROM comment m "
+                "JOIN person p ON p.id = m.creatorid WHERE m.id = ?",
+                (message_id,),
+            )
+        return rows[0] if rows else ()
+
+    def message_forum(self, message_id: int) -> tuple:
+        rows = self._query(
+            "SELECT f.id, f.title, f.moderatorid FROM post m "
+            "JOIN forum f ON f.id = m.forumid WHERE m.id = ?",
+            (message_id,),
+        )
+        if not rows:
+            rows = self._query(
+                "SELECT f.id, f.title, f.moderatorid FROM comment c "
+                "JOIN post m ON m.id = c.rootpost "
+                "JOIN forum f ON f.id = m.forumid WHERE c.id = ?",
+                (message_id,),
+            )
+        return rows[0] if rows else ()
+
+    def message_replies(self, message_id: int) -> list[tuple]:
+        return self._query(
+            "SELECT id, creatorid, creationdate FROM comment "
+            "WHERE replyof = ? ORDER BY id",
+            (message_id,),
+        )
+
+    def complex_two_hop(self, person_id: int, limit: int = 20) -> list[tuple]:
+        rows = self._query(
+            "SELECT DISTINCT p.id, p.firstname, p.lastname FROM knows k1 "
+            "JOIN knows k2 ON k2.p1 = k1.p2 "
+            "JOIN person p ON p.id = k2.p2 "
+            "WHERE k1.p1 = ? AND k2.p2 <> ? ORDER BY p.id",
+            (person_id, person_id),
+        )
+        return rows[:limit]
+
+    def friends_recent_posts(
+        self, person_id: int, limit: int = 10
+    ) -> list[tuple]:
+        limit = int(limit)
+        posts = self._query(
+            "SELECT m.id, m.creatorid, m.content, m.creationdate "
+            "FROM knows k JOIN post m ON m.creatorid = k.p2 "
+            "WHERE k.p1 = ? "
+            f"ORDER BY m.creationdate DESC, m.id DESC LIMIT {limit}",
+            (person_id,),
+        )
+        comments = self._query(
+            "SELECT m.id, m.creatorid, m.content, m.creationdate "
+            "FROM knows k JOIN comment m ON m.creatorid = k.p2 "
+            "WHERE k.p1 = ? "
+            f"ORDER BY m.creationdate DESC, m.id DESC LIMIT {limit}",
+            (person_id,),
+        )
+        merged = sorted(posts + comments, key=lambda r: (-r[3], -r[0]))
+        return merged[:limit]
+
+    # -- inserts ----------------------------------------------------------------------------
+
+    def add_person(self, person: Person) -> None:
+        charge("client_rtt")
+        with self.db.transaction():
+            self.db.execute(
+                "INSERT INTO person VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (person.id, person.first_name, person.last_name,
+                 person.gender, person.birthday, person.creation_date,
+                 person.location_ip, person.browser_used, person.city),
+            )
+            for language in person.speaks:
+                self.db.execute(
+                    "INSERT INTO person_speaks VALUES (?, ?)",
+                    (person.id, language),
+                )
+            for tag_id in person.interests:
+                self.db.execute(
+                    "INSERT INTO person_interest VALUES (?, ?)",
+                    (person.id, tag_id),
+                )
+
+    def add_friendship(self, knows: Knows) -> None:
+        charge("client_rtt")
+        with self.db.transaction():
+            self.db.execute(
+                "INSERT INTO knows VALUES (?, ?, ?)",
+                (knows.person1, knows.person2, knows.creation_date),
+            )
+            self.db.execute(
+                "INSERT INTO knows VALUES (?, ?, ?)",
+                (knows.person2, knows.person1, knows.creation_date),
+            )
+
+    def add_forum(self, forum: Forum) -> None:
+        charge("client_rtt")
+        with self.db.transaction():
+            self.db.execute(
+                "INSERT INTO forum VALUES (?, ?, ?, ?)",
+                (forum.id, forum.title, forum.creation_date, forum.moderator),
+            )
+            for tag_id in forum.tags:
+                self.db.execute(
+                    "INSERT INTO forum_tag VALUES (?, ?)", (forum.id, tag_id)
+                )
+
+    def add_forum_membership(self, membership: ForumMembership) -> None:
+        self._execute(
+            "INSERT INTO forum_member VALUES (?, ?, ?)",
+            (membership.forum, membership.person, membership.join_date),
+        )
+
+    def add_post(self, post: Post) -> None:
+        charge("client_rtt")
+        with self.db.transaction():
+            self.db.execute(
+                "INSERT INTO post VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (post.id, post.creation_date, post.creator, post.forum,
+                 post.content, post.length, post.browser_used,
+                 post.location_ip, post.language, post.country),
+            )
+            for tag_id in post.tags:
+                self.db.execute(
+                    "INSERT INTO post_tag VALUES (?, ?)", (post.id, tag_id)
+                )
+
+    def add_comment(self, comment: Comment) -> None:
+        charge("client_rtt")
+        with self.db.transaction():
+            self.db.execute(
+                "INSERT INTO comment VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (comment.id, comment.creation_date, comment.creator,
+                 comment.reply_of, comment.root_post, comment.content,
+                 comment.length, comment.browser_used, comment.location_ip,
+                 comment.country),
+            )
+            for tag_id in comment.tags:
+                self.db.execute(
+                    "INSERT INTO comment_tag VALUES (?, ?)",
+                    (comment.id, tag_id),
+                )
+
+    def add_like(self, like: Like) -> None:
+        self._execute(
+            "INSERT INTO likes VALUES (?, ?, ?)",
+            (like.person, like.message, like.creation_date),
+        )
+
+
+class PostgresConnector(SqlConnector):
+    """Postgres 9.5, native SQL, row storage."""
+
+    key = "postgres-sql"
+    system = "Postgres"
+    language = "SQL"
+    storage = "row"
+    transitive_support = False
+
+
+class VirtuosoSqlConnector(SqlConnector):
+    """Virtuoso 7.2 in RDBMS mode: columnar storage + graph-aware
+    transitivity."""
+
+    key = "virtuoso-sql"
+    system = "Virtuoso"
+    language = "SQL"
+    storage = "column"
+    transitive_support = True

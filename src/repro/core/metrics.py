@@ -1,0 +1,81 @@
+"""Metric collection: latency distributions and throughput windows."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+class LatencyRecorder:
+    """Collects per-operation latencies (simulated milliseconds)."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.samples_ms: list[float] = []
+
+    def record(self, latency_ms: float) -> None:
+        self.samples_ms.append(latency_ms)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples_ms)
+
+    def mean(self) -> float:
+        if not self.samples_ms:
+            return math.nan
+        return sum(self.samples_ms) / len(self.samples_ms)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        if not self.samples_ms:
+            return math.nan
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile out of range: {p}")
+        ordered = sorted(self.samples_ms)
+        rank = max(1, math.ceil(p / 100 * len(ordered)))
+        return ordered[rank - 1]
+
+    def min(self) -> float:
+        return min(self.samples_ms) if self.samples_ms else math.nan
+
+    def max(self) -> float:
+        return max(self.samples_ms) if self.samples_ms else math.nan
+
+
+@dataclass
+class ThroughputWindow:
+    """Operations per second bucketed into fixed simulated-time windows.
+
+    Produces the time series of Figure 3 (including the dips: a window
+    overlapping a write stall simply completes fewer operations).
+    """
+
+    window_ms: float = 1000.0
+    _counts: dict[int, int] = field(default_factory=dict)
+
+    def record(self, at_ms: float) -> None:
+        self._counts[int(at_ms // self.window_ms)] = (
+            self._counts.get(int(at_ms // self.window_ms), 0) + 1
+        )
+
+    def series(self, until_ms: float | None = None) -> list[tuple[float, float]]:
+        """(window start ms, ops/sec) for every window, empty ones included."""
+        if not self._counts:
+            return []
+        last = max(self._counts)
+        if until_ms is not None:
+            last = max(last, int(until_ms // self.window_ms) - 1)
+        scale = 1000.0 / self.window_ms
+        return [
+            (w * self.window_ms, self._counts.get(w, 0) * scale)
+            for w in range(0, last + 1)
+        ]
+
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def mean_rate(self, duration_ms: float) -> float:
+        """Average ops/sec over an experiment of ``duration_ms``."""
+        if duration_ms <= 0:
+            return 0.0
+        return self.total() / (duration_ms / 1000.0)

@@ -1,0 +1,76 @@
+"""Paper-style plain-text tables and ASCII chart rendering."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """A fixed-width table like the paper's Tables 1-4."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells))
+        if cells
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def line(values: Sequence[str]) -> str:
+        return " | ".join(v.rjust(w) for v, w in zip(values, widths))
+
+    separator = "-+-".join("-" * w for w in widths)
+    out = [title, line(list(headers)), separator]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN => DNF, the paper's '-'
+            return "-"
+        if value >= 100:
+            return f"{value:,.0f}"
+        if value >= 1:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_series(
+    title: str,
+    series: dict[str, list[tuple[float, float]]],
+    *,
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """ASCII multi-line chart for Figure 3's throughput-over-time series."""
+    points = [p for s in series.values() for p in s]
+    if not points:
+        return f"{title}\n(no data)"
+    max_y = max(y for _, y in points) or 1.0
+    max_x = max(x for x, _ in points) or 1.0
+    symbols = "ox+*#@%&"
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, data) in enumerate(sorted(series.items())):
+        symbol = symbols[idx % len(symbols)]
+        for x, y in data:
+            col = min(width - 1, int(x / max_x * (width - 1)))
+            row = min(height - 1, int(y / max_y * (height - 1)))
+            grid[height - 1 - row][col] = symbol
+    lines = [title]
+    lines.append(f"{max_y:>10.0f} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{0:>10} +" + "-" * width)
+    legend = "   ".join(
+        f"{symbols[i % len(symbols)]}={name}"
+        for i, name in enumerate(sorted(series))
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""The LDBC workload driver analogue.
+
+* :mod:`repro.driver.workload`  — the interactive query mix of Section 4.3
+  (short reads + the two-hop complex query).
+* :mod:`repro.driver.scheduler` — dependency-tracked update scheduling
+  (LDBC's execution-time dependency windows).
+* :mod:`repro.driver.loader`    — data-ingestion harnesses for Table 4 and
+  Appendix A (1..16 concurrent loaders over the discrete-event simulator).
+* :mod:`repro.driver.executor`  — the real-time interactive workload
+  runner of Figure 3: N simulated readers + one writer consuming the
+  Kafka update stream, with per-system contention models (Gremlin Server
+  worker pool, Titan-B writer serialization, Neo4j checkpoint stalls).
+"""
+
+from repro.driver.workload import QueryMix, ReadOp
+from repro.driver.scheduler import DependencyScheduler
+from repro.driver.loader import LoadReport, concurrent_load, sequential_load
+from repro.driver.executor import (
+    InteractiveConfig,
+    InteractiveResult,
+    InteractiveWorkloadRunner,
+)
+
+__all__ = [
+    "QueryMix",
+    "ReadOp",
+    "DependencyScheduler",
+    "LoadReport",
+    "sequential_load",
+    "concurrent_load",
+    "InteractiveConfig",
+    "InteractiveResult",
+    "InteractiveWorkloadRunner",
+]

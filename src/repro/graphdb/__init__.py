@@ -1,0 +1,17 @@
+"""Native graph database (the Neo4j-like engine).
+
+Storage follows Neo4j's record-store design: fixed-size node and
+relationship records where each node heads a linked chain of relationship
+records — *index-free adjacency*, so traversing a relationship costs one
+record read regardless of graph size (the property behind the paper's
+observation that Neo4j/Cypher latency is nearly independent of scale
+factor).
+
+Queried through a Cypher subset (:mod:`repro.graphdb.cypher`) or directly
+through the :class:`GraphStore` API (which the TinkerPop adapter uses).
+"""
+
+from repro.graphdb.store import Direction, GraphStore
+from repro.graphdb.engine import GraphDatabase
+
+__all__ = ["GraphStore", "GraphDatabase", "Direction"]

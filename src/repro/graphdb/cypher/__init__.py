@@ -1,0 +1,23 @@
+"""Cypher front end for the native graph engine.
+
+Supported surface (the subset the LDBC SNB interactive queries need)::
+
+    MATCH (p:Person {id: $id})-[:KNOWS*1..2]-(f:Person)
+    WHERE f.id <> $id
+    RETURN DISTINCT f.id AS id, f.firstName AS name
+    ORDER BY name LIMIT 20
+
+    MATCH path = shortestPath((a:Person {id:$a})-[:KNOWS*]-(b:Person {id:$b}))
+    RETURN length(path)
+
+    MATCH (f:Forum {id: $f}), (p:Person {id: $p})
+    CREATE (f)-[:HAS_MEMBER {joinDate: $d}]->(p)
+
+Aggregation uses Cypher's implicit grouping (non-aggregated return items
+form the group key).
+"""
+
+from repro.graphdb.cypher.parser import CypherParseError, parse
+from repro.graphdb.cypher.executor import CypherExecutor, CypherRuntimeError
+
+__all__ = ["parse", "CypherParseError", "CypherExecutor", "CypherRuntimeError"]

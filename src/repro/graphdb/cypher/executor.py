@@ -1,0 +1,806 @@
+"""Cypher execution: pattern matching, writes, and projection.
+
+Rows are ``dict[var, value]`` where values are :class:`NodeRef`,
+:class:`RelRef`, :class:`PathRef`, or scalars.  Matching anchors each chain
+at the cheapest node pattern (bound variable > schema index > label scan >
+all-nodes scan) and expands outward through the relationship chains of the
+record store.
+
+Relationship uniqueness is enforced per path pattern (no relationship is
+used twice in one chain), matching Cypher's semantics for the queries in
+scope.  Every intermediate row charges ``cypher_row`` — the interpreted
+runtime overhead of the Neo4j-2.3-era Cypher engine, visible in the
+paper's point-lookup latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.graphdb.cypher import ast
+from repro.graphdb.store import Direction, GraphStore
+from repro.simclock.ledger import charge
+
+AGGREGATE_FUNCS = {"count", "min", "max", "sum", "avg", "collect"}
+
+_FLIP = {"out": "in", "in": "out", "both": "both"}
+_TO_DIRECTION = {
+    "out": Direction.OUT,
+    "in": Direction.IN,
+    "both": Direction.BOTH,
+}
+
+
+class CypherRuntimeError(Exception):
+    pass
+
+
+@dataclass(frozen=True)
+class NodeRef:
+    id: int
+
+
+@dataclass(frozen=True)
+class RelRef:
+    id: int
+
+
+@dataclass(frozen=True)
+class PathRef:
+    nodes: tuple[int, ...]
+    length: int
+
+
+@dataclass
+class WriteSummary:
+    nodes_created: int = 0
+    relationships_created: int = 0
+    properties_set: int = 0
+
+
+class CypherExecutor:
+    def __init__(self, store: GraphStore) -> None:
+        self.store = store
+
+    # -- entry point ------------------------------------------------------------
+
+    def run(
+        self, query: ast.Query, params: dict[str, Any] | None = None
+    ) -> tuple[list[tuple], WriteSummary]:
+        params = params or {}
+        summary = WriteSummary()
+        rows: list[dict[str, Any]] = [{}]
+        for clause in query.clauses:
+            if isinstance(clause, ast.MatchClause):
+                rows = self._match(rows, clause, params)
+            elif isinstance(clause, ast.CreateClause):
+                rows = self._create(rows, clause, params, summary)
+            elif isinstance(clause, ast.SetClause):
+                rows = self._set(rows, clause, params, summary)
+            else:
+                raise CypherRuntimeError(
+                    f"unsupported clause {type(clause).__name__}"
+                )
+        if query.returns is None:
+            return [], summary
+        return self._project(rows, query.returns, params), summary
+
+    # -- expressions -------------------------------------------------------------
+
+    def _eval(self, expr: ast.Expr, row: dict, params: dict) -> Any:
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        if isinstance(expr, ast.Param):
+            try:
+                return params[expr.name]
+            except KeyError:
+                raise CypherRuntimeError(
+                    f"missing parameter ${expr.name}"
+                ) from None
+        if isinstance(expr, ast.VarRef):
+            try:
+                return row[expr.name]
+            except KeyError:
+                raise CypherRuntimeError(
+                    f"unbound variable {expr.name!r}"
+                ) from None
+        if isinstance(expr, ast.PropAccess):
+            target = row.get(expr.var)
+            if isinstance(target, NodeRef):
+                return self.store.node_prop(target.id, expr.key)
+            if isinstance(target, RelRef):
+                return self.store.rel_props(target.id).get(expr.key)
+            if target is None:
+                return None
+            raise CypherRuntimeError(
+                f"{expr.var!r} is not a node or relationship"
+            )
+        if isinstance(expr, ast.UnaryOp):
+            value = self._eval(expr.operand, row, params)
+            if expr.op == "NOT":
+                return not value
+            return None if value is None else -value
+        if isinstance(expr, ast.IsNull):
+            value = self._eval(expr.operand, row, params)
+            return (value is not None) if expr.negated else (value is None)
+        if isinstance(expr, ast.BinaryOp):
+            return self._eval_binary(expr, row, params)
+        if isinstance(expr, ast.FuncCall):
+            return self._eval_scalar_func(expr, row, params)
+        raise CypherRuntimeError(f"cannot evaluate {expr!r}")
+
+    def _eval_binary(self, expr: ast.BinaryOp, row: dict, params: dict) -> Any:
+        op = expr.op
+        if op == "AND":
+            return bool(self._eval(expr.left, row, params)) and bool(
+                self._eval(expr.right, row, params)
+            )
+        if op == "OR":
+            return bool(self._eval(expr.left, row, params)) or bool(
+                self._eval(expr.right, row, params)
+            )
+        left = self._eval(expr.left, row, params)
+        right = self._eval(expr.right, row, params)
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            if left is None or right is None:
+                return False
+            if isinstance(left, NodeRef) or isinstance(right, NodeRef):
+                same = (
+                    isinstance(left, NodeRef)
+                    and isinstance(right, NodeRef)
+                    and left.id == right.id
+                )
+                if op == "=":
+                    return same
+                if op == "<>":
+                    return not same
+                raise CypherRuntimeError("nodes are not ordered")
+            return {
+                "=": left == right,
+                "<>": left != right,
+                "<": left < right,
+                "<=": left <= right,
+                ">": left > right,
+                ">=": left >= right,
+            }[op]
+        if left is None or right is None:
+            return None
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            return left / right
+        raise CypherRuntimeError(f"unknown operator {op!r}")
+
+    def _eval_scalar_func(
+        self, expr: ast.FuncCall, row: dict, params: dict
+    ) -> Any:
+        if expr.name in AGGREGATE_FUNCS:
+            raise CypherRuntimeError(
+                f"aggregate {expr.name}() outside RETURN"
+            )
+        args = [self._eval(a, row, params) for a in expr.args]
+        if expr.name == "length":
+            (path,) = args
+            if not isinstance(path, PathRef):
+                raise CypherRuntimeError("length() expects a path")
+            return path.length
+        if expr.name == "id":
+            (ref,) = args
+            if isinstance(ref, (NodeRef, RelRef)):
+                return ref.id
+            raise CypherRuntimeError("id() expects a node or relationship")
+        if expr.name == "labels":
+            (ref,) = args
+            if isinstance(ref, NodeRef):
+                return list(self.store.node_labels(ref.id))
+            raise CypherRuntimeError("labels() expects a node")
+        raise CypherRuntimeError(f"unknown function {expr.name}()")
+
+    # -- MATCH ----------------------------------------------------------------------
+
+    def _match(
+        self, rows: list[dict], clause: ast.MatchClause, params: dict
+    ) -> list[dict]:
+        out: list[dict] = []
+        pattern_vars = _pattern_variables(clause.patterns)
+        for row in rows:
+            matched = False
+            for candidate in self._match_patterns(
+                row, list(clause.patterns), params
+            ):
+                if clause.where is not None and not self._eval(
+                    clause.where, candidate, params
+                ):
+                    continue
+                charge("cypher_row")
+                matched = True
+                out.append(candidate)
+            if not matched and clause.optional:
+                padded = dict(row)
+                for var in pattern_vars:
+                    padded.setdefault(var, None)
+                out.append(padded)
+        return out
+
+    def _match_patterns(
+        self, row: dict, patterns: list[ast.PathPattern], params: dict
+    ):
+        if not patterns:
+            yield row
+            return
+        head, rest = patterns[0], patterns[1:]
+        for bound in self._match_one(row, head, params):
+            yield from self._match_patterns(bound, rest, params)
+
+    def _match_one(self, row: dict, pattern: ast.PathPattern, params: dict):
+        if pattern.shortest:
+            yield from self._match_shortest(row, pattern, params)
+            return
+        nodes = pattern.nodes
+        rels = pattern.rels
+        anchor = self._pick_anchor(row, nodes)
+        for anchor_id in self._node_candidates(row, nodes[anchor], params):
+            base = dict(row)
+            if nodes[anchor].var:
+                base[nodes[anchor].var] = NodeRef(anchor_id)
+            yield from self._expand(
+                base, nodes, rels, anchor, anchor_id, frozenset(), params
+            )
+
+    def _expand(
+        self,
+        row: dict,
+        nodes: list[ast.NodePattern],
+        rels: list[ast.RelPattern],
+        anchor: int,
+        anchor_id: int,
+        used: frozenset,
+        params: dict,
+    ):
+        """Expand right of the anchor, then left, backtracking-style."""
+
+        def go_right(row: dict, pos: int, node_id: int, used: frozenset):
+            if pos == len(rels):
+                yield from go_left(row, anchor, anchor_node_of(row), used)
+                return
+            rel = rels[pos]
+            target = nodes[pos + 1]
+            for new_row, new_used, next_id in self._step(
+                row, node_id, rel, target, rel.direction, used, params
+            ):
+                yield from go_right(new_row, pos + 1, next_id, new_used)
+
+        def anchor_node_of(row: dict) -> int:
+            return anchor_id
+
+        def go_left(row: dict, pos: int, node_id: int, used: frozenset):
+            if pos == 0:
+                yield row
+                return
+            rel = rels[pos - 1]
+            target = nodes[pos - 1]
+            for new_row, new_used, next_id in self._step(
+                row, node_id, rel, target, _FLIP[rel.direction], used, params
+            ):
+                yield from go_left(new_row, pos - 1, next_id, new_used)
+
+        yield from go_right(row, anchor, anchor_id, used)
+
+    def _step(
+        self,
+        row: dict,
+        node_id: int,
+        rel: ast.RelPattern,
+        target: ast.NodePattern,
+        direction: str,
+        used: frozenset,
+        params: dict,
+    ):
+        """One hop (or var-length expansion) from ``node_id``."""
+        rel_type = rel.types[0] if rel.types else None
+        store_dir = _TO_DIRECTION[direction]
+        if not rel.var_length:
+            for rel_id, other in self.store.relationships(
+                node_id, rel_type, store_dir
+            ):
+                if rel_id in used:
+                    continue
+                if rel.props and not self._props_match(
+                    self.store.rel_props(rel_id), rel.props, row, params
+                ):
+                    continue
+                if not self._node_matches(other, target, row, params):
+                    continue
+                new_row = dict(row)
+                if rel.var:
+                    new_row[rel.var] = RelRef(rel_id)
+                if target.var:
+                    new_row[target.var] = NodeRef(other)
+                yield new_row, used | {rel_id}, other
+            return
+        if rel.max_hops < 0:
+            raise CypherRuntimeError(
+                "unbounded variable-length patterns require shortestPath()"
+            )
+        if rel.var:
+            raise CypherRuntimeError(
+                "binding a variable-length relationship is not supported"
+            )
+        # DFS over simple paths of allowed depth
+        stack = [(node_id, 0, used, frozenset({node_id}))]
+        while stack:
+            current, depth, path_used, visited = stack.pop()
+            if depth >= rel.max_hops:
+                continue
+            for rel_id, other in self.store.relationships(
+                current, rel_type, store_dir
+            ):
+                if rel_id in path_used or other in visited:
+                    continue
+                next_used = path_used | {rel_id}
+                if depth + 1 >= rel.min_hops and self._node_matches(
+                    other, target, row, params
+                ):
+                    new_row = dict(row)
+                    if target.var:
+                        new_row[target.var] = NodeRef(other)
+                    yield new_row, next_used, other
+                stack.append(
+                    (other, depth + 1, next_used, visited | {other})
+                )
+
+    # -- shortestPath ----------------------------------------------------------------
+
+    def _match_shortest(
+        self, row: dict, pattern: ast.PathPattern, params: dict
+    ):
+        nodes = pattern.nodes
+        rels = pattern.rels
+        if len(nodes) != 2 or len(rels) != 1:
+            raise CypherRuntimeError(
+                "shortestPath() expects a single relationship pattern"
+            )
+        rel = rels[0]
+        sources = self._node_candidates(row, nodes[0], params)
+        targets = self._node_candidates(row, nodes[1], params)
+        if not sources or not targets:
+            return
+        if len(sources) > 1 or len(targets) > 1:
+            raise CypherRuntimeError(
+                "shortestPath() endpoints must be uniquely identified"
+            )
+        source, target = sources[0], targets[0]
+        path = self._bfs_shortest(source, target, rel)
+        if path is None:
+            return
+        new_row = dict(row)
+        if nodes[0].var:
+            new_row[nodes[0].var] = NodeRef(source)
+        if nodes[1].var:
+            new_row[nodes[1].var] = NodeRef(target)
+        if pattern.assign_var:
+            new_row[pattern.assign_var] = PathRef(path, len(path) - 1)
+        yield new_row
+
+    def _bfs_shortest(
+        self, source: int, target: int, rel: ast.RelPattern
+    ) -> tuple[int, ...] | None:
+        """Bidirectional BFS over the relationship chains (index-free)."""
+        if source == target:
+            return (source,)
+        rel_type = rel.types[0] if rel.types else None
+        max_hops = rel.max_hops if rel.max_hops > 0 else 128
+        fwd_dir = _TO_DIRECTION[rel.direction]
+        bwd_dir = _TO_DIRECTION[_FLIP[rel.direction]]
+        parent_f: dict[int, int | None] = {source: None}
+        parent_b: dict[int, int | None] = {target: None}
+        frontier_f, frontier_b = [source], [target]
+        hops = 0
+        while frontier_f and frontier_b and hops < max_hops:
+            hops += 1
+            if len(frontier_f) <= len(frontier_b):
+                frontier, parents, others, direction, forward = (
+                    frontier_f, parent_f, parent_b, fwd_dir, True,
+                )
+            else:
+                frontier, parents, others, direction, forward = (
+                    frontier_b, parent_b, parent_f, bwd_dir, False,
+                )
+            next_frontier: list[int] = []
+            meet: int | None = None
+            for node in frontier:
+                for _rel_id, other in self.store.relationships(
+                    node, rel_type, direction
+                ):
+                    if other not in parents:
+                        parents[other] = node
+                        next_frontier.append(other)
+                    if other in others and meet is None:
+                        meet = other
+            if meet is not None:
+                return self._stitch(meet, parent_f, parent_b)
+            if forward:
+                frontier_f = next_frontier
+            else:
+                frontier_b = next_frontier
+        return None
+
+    @staticmethod
+    def _stitch(
+        meet: int,
+        parent_f: dict[int, int | None],
+        parent_b: dict[int, int | None],
+    ) -> tuple[int, ...]:
+        left: list[int] = []
+        node: int | None = meet
+        while node is not None:
+            left.append(node)
+            node = parent_f[node]
+        left.reverse()
+        node = parent_b[meet]
+        while node is not None:
+            left.append(node)
+            node = parent_b[node]
+        return tuple(left)
+
+    # -- candidates / filters ------------------------------------------------------------
+
+    def _pick_anchor(self, row: dict, nodes: list[ast.NodePattern]) -> int:
+        for i, node in enumerate(nodes):  # already-bound variable
+            if node.var and isinstance(row.get(node.var), NodeRef):
+                return i
+        for i, node in enumerate(nodes):  # indexed label+prop equality
+            for label in node.labels:
+                for key, _ in node.props:
+                    if self.store.has_index(label, key):
+                        return i
+        for i, node in enumerate(nodes):  # any label to scan
+            if node.labels:
+                return i
+        return 0
+
+    def _node_candidates(
+        self, row: dict, node: ast.NodePattern, params: dict
+    ) -> list[int]:
+        if node.var and isinstance(row.get(node.var), NodeRef):
+            candidate = row[node.var].id
+            return (
+                [candidate]
+                if self._node_matches(candidate, node, row, params)
+                else []
+            )
+        for label in node.labels:
+            for key, expr in node.props:
+                if self.store.has_index(label, key):
+                    value = self._eval(expr, row, params)
+                    return [
+                        nid
+                        for nid in self.store.lookup(label, key, value)
+                        if self._node_matches(nid, node, row, params)
+                    ]
+        if node.labels:
+            source = self.store.nodes_with_label(node.labels[0])
+        else:
+            source = self.store.all_nodes()
+        return [
+            nid for nid in source if self._node_matches(nid, node, row, params)
+        ]
+
+    def _node_matches(
+        self, node_id: int, pattern: ast.NodePattern, row: dict, params: dict
+    ) -> bool:
+        if pattern.var:
+            bound = row.get(pattern.var)
+            if isinstance(bound, NodeRef) and bound.id != node_id:
+                return False
+        if pattern.labels:
+            labels = self.store.node_labels(node_id)
+            if not all(label in labels for label in pattern.labels):
+                return False
+        if pattern.props:
+            props = self.store.node_props(node_id)
+            if not self._props_match(props, pattern.props, row, params):
+                return False
+        return True
+
+    def _props_match(
+        self,
+        props: dict,
+        wanted: tuple[tuple[str, ast.Expr], ...],
+        row: dict,
+        params: dict,
+    ) -> bool:
+        return all(
+            props.get(key) == self._eval(expr, row, params)
+            for key, expr in wanted
+        )
+
+    # -- CREATE / SET --------------------------------------------------------------------
+
+    def _create(
+        self,
+        rows: list[dict],
+        clause: ast.CreateClause,
+        params: dict,
+        summary: WriteSummary,
+    ) -> list[dict]:
+        out = []
+        for row in rows:
+            new_row = dict(row)
+            for pattern in clause.patterns:
+                if pattern.shortest:
+                    raise CypherRuntimeError("cannot CREATE a shortestPath")
+                nodes = pattern.nodes
+                rels = pattern.rels
+                node_ids: list[int] = []
+                for node in nodes:
+                    bound = new_row.get(node.var) if node.var else None
+                    if isinstance(bound, NodeRef):
+                        node_ids.append(bound.id)
+                        continue
+                    props = {
+                        key: self._eval(expr, new_row, params)
+                        for key, expr in node.props
+                    }
+                    node_id = self.store.create_node(node.labels, props)
+                    summary.nodes_created += 1
+                    if node.var:
+                        new_row[node.var] = NodeRef(node_id)
+                    node_ids.append(node_id)
+                for i, rel in enumerate(rels):
+                    if rel.direction == "both":
+                        raise CypherRuntimeError(
+                            "CREATE requires a directed relationship"
+                        )
+                    if len(rel.types) != 1:
+                        raise CypherRuntimeError(
+                            "CREATE requires exactly one relationship type"
+                        )
+                    props = {
+                        key: self._eval(expr, new_row, params)
+                        for key, expr in rel.props
+                    }
+                    start, end = node_ids[i], node_ids[i + 1]
+                    if rel.direction == "in":
+                        start, end = end, start
+                    rel_id = self.store.create_rel(
+                        rel.types[0], start, end, props
+                    )
+                    summary.relationships_created += 1
+                    if rel.var:
+                        new_row[rel.var] = RelRef(rel_id)
+            charge("cypher_row")
+            out.append(new_row)
+        return out
+
+    def _set(
+        self,
+        rows: list[dict],
+        clause: ast.SetClause,
+        params: dict,
+        summary: WriteSummary,
+    ) -> list[dict]:
+        for row in rows:
+            for item in clause.items:
+                target = row.get(item.target.var)
+                if not isinstance(target, NodeRef):
+                    raise CypherRuntimeError(
+                        f"SET target {item.target.var!r} is not a node"
+                    )
+                value = self._eval(item.value, row, params)
+                self.store.set_node_prop(target.id, item.target.key, value)
+                summary.properties_set += 1
+        return rows
+
+    # -- RETURN -----------------------------------------------------------------------------
+
+    def _project(
+        self, rows: list[dict], returns: ast.ReturnClause, params: dict
+    ) -> list[tuple]:
+        has_aggregates = any(
+            _contains_aggregate(item.expr) for item in returns.items
+        )
+        aliases = [
+            item.alias or _expr_name(item.expr) for item in returns.items
+        ]
+        if has_aggregates:
+            projected = self._aggregate(rows, returns, params)
+        else:
+            projected = []
+            for row in rows:
+                charge("cypher_row")
+                projected.append(
+                    tuple(
+                        self._materialize(
+                            self._eval(item.expr, row, params)
+                        )
+                        for item in returns.items
+                    )
+                )
+        if returns.distinct:
+            seen = set()
+            unique = []
+            for row in projected:
+                if row not in seen:
+                    seen.add(row)
+                    unique.append(row)
+            projected = unique
+        if returns.order_by:
+            projected = self._order(projected, returns, aliases, params)
+        if returns.limit is not None:
+            projected = projected[: returns.limit]
+        return projected
+
+    def _materialize(self, value: Any) -> Any:
+        """Nodes returned whole become property maps (as drivers do)."""
+        if isinstance(value, NodeRef):
+            return tuple(sorted(self.store.node_props(value.id).items()))
+        if isinstance(value, RelRef):
+            return tuple(sorted(self.store.rel_props(value.id).items()))
+        if isinstance(value, PathRef):
+            return value
+        if isinstance(value, list):
+            return tuple(value)
+        return value
+
+    def _aggregate(
+        self, rows: list[dict], returns: ast.ReturnClause, params: dict
+    ) -> list[tuple]:
+        key_items = [
+            (i, item)
+            for i, item in enumerate(returns.items)
+            if not _contains_aggregate(item.expr)
+        ]
+        agg_items = [
+            (i, item)
+            for i, item in enumerate(returns.items)
+            if _contains_aggregate(item.expr)
+        ]
+        groups: dict[tuple, list] = {}
+        for row in rows:
+            charge("cypher_row")
+            key = tuple(
+                self._materialize(self._eval(item.expr, row, params))
+                for _, item in key_items
+            )
+            states = groups.get(key)
+            if states is None:
+                states = [_AggState(item.expr) for _, item in agg_items]
+                groups[key] = states
+            for state in states:
+                state.feed(self, row, params)
+        if not groups and not key_items:
+            states = [_AggState(item.expr) for _, item in agg_items]
+            groups[()] = states
+        out = []
+        for key, states in groups.items():
+            values: list[Any] = [None] * len(returns.items)
+            for (i, _), value in zip(key_items, key):
+                values[i] = value
+            for (i, _), state in zip(agg_items, states):
+                values[i] = state.result()
+            out.append(tuple(values))
+        return out
+
+    def _order(
+        self,
+        projected: list[tuple],
+        returns: ast.ReturnClause,
+        aliases: list[str],
+        params: dict,
+    ) -> list[tuple]:
+        def key_for(order_item: ast.OrderItem):
+            expr = order_item.expr
+            if isinstance(expr, ast.VarRef) and expr.name in aliases:
+                idx = aliases.index(expr.name)
+                return lambda row: _null_safe(row[idx])
+            if isinstance(expr, ast.PropAccess):
+                name = f"{expr.var}.{expr.key}"
+                if name in aliases:
+                    idx = aliases.index(name)
+                    return lambda row: _null_safe(row[idx])
+            raise CypherRuntimeError(
+                "ORDER BY must reference a returned column or its alias"
+            )
+
+        ordered = list(projected)
+        for order_item in reversed(returns.order_by):
+            ordered.sort(
+                key=key_for(order_item), reverse=order_item.descending
+            )
+        return ordered
+
+
+class _AggState:
+    def __init__(self, expr: ast.Expr) -> None:
+        if not isinstance(expr, ast.FuncCall):
+            raise CypherRuntimeError(
+                "aggregates cannot be nested in expressions"
+            )
+        self.func = expr.name
+        self.expr = expr
+        self.count = 0
+        self.total: Any = None
+        self.minimum: Any = None
+        self.maximum: Any = None
+        self.items: list = []
+        self.seen: set | None = set() if expr.distinct else None
+
+    def feed(self, executor: CypherExecutor, row: dict, params: dict) -> None:
+        if self.expr.star:
+            self.count += 1
+            return
+        value = executor._eval(self.expr.args[0], row, params)
+        value = executor._materialize(value)
+        if value is None:
+            return
+        if self.seen is not None:
+            if value in self.seen:
+                return
+            self.seen.add(value)
+        self.count += 1
+        self.items.append(value)
+        self.total = value if self.total is None else self.total + value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def result(self) -> Any:
+        if self.func == "count":
+            return self.count
+        if self.func == "sum":
+            return self.total
+        if self.func == "min":
+            return self.minimum
+        if self.func == "max":
+            return self.maximum
+        if self.func == "avg":
+            return None if not self.count else self.total / self.count
+        if self.func == "collect":
+            return tuple(self.items)
+        raise CypherRuntimeError(f"unknown aggregate {self.func}()")
+
+
+def _contains_aggregate(expr: ast.Expr) -> bool:
+    if isinstance(expr, ast.FuncCall):
+        if expr.name in AGGREGATE_FUNCS:
+            return True
+        return any(_contains_aggregate(a) for a in expr.args)
+    if isinstance(expr, ast.BinaryOp):
+        return _contains_aggregate(expr.left) or _contains_aggregate(
+            expr.right
+        )
+    if isinstance(expr, (ast.UnaryOp, ast.IsNull)):
+        return _contains_aggregate(expr.operand)
+    return False
+
+
+def _expr_name(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.PropAccess):
+        return f"{expr.var}.{expr.key}"
+    if isinstance(expr, ast.VarRef):
+        return expr.name
+    if isinstance(expr, ast.FuncCall):
+        return f"{expr.name}(...)"
+    return "expr"
+
+
+def _null_safe(value: Any) -> tuple:
+    return (value is not None, value)
+
+
+def _pattern_variables(patterns: tuple[ast.PathPattern, ...]) -> list[str]:
+    out = []
+    for pattern in patterns:
+        if pattern.assign_var:
+            out.append(pattern.assign_var)
+        for element in pattern.elements:
+            if getattr(element, "var", None):
+                out.append(element.var)
+    return out

@@ -1,0 +1,133 @@
+"""Tokenizer for the Cypher subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+KEYWORDS = {
+    "match", "optional", "where", "return", "create", "set", "distinct",
+    "order", "by", "asc", "desc", "limit", "and", "or", "not", "null",
+    "true", "false", "as", "is",
+}
+
+_PUNCT = {
+    "(": "lparen",
+    ")": "rparen",
+    "[": "lbracket",
+    "]": "rbracket",
+    "{": "lbrace",
+    "}": "rbrace",
+    ",": "comma",
+    ".": "dot",
+    ":": "colon",
+    "*": "star",
+    "+": "plus",
+    "/": "slash",
+    "=": "eq",
+    "$": "dollar",
+}
+
+
+class CypherLexError(Exception):
+    pass
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: Any
+    pos: int
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("//", i):
+            end = text.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if ch in "'\"":
+            quote = ch
+            j = i + 1
+            parts: list[str] = []
+            while True:
+                if j >= n:
+                    raise CypherLexError(f"unterminated string at {i}")
+                if text[j] == "\\" and j + 1 < n:
+                    parts.append(text[j + 1])
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    break
+                parts.append(text[j])
+                j += 1
+            tokens.append(Token("string", "".join(parts), i))
+            i = j + 1
+            continue
+        if ch.isdigit():
+            j = i
+            is_float = False
+            while j < n and (text[j].isdigit() or text[j] == "."):
+                if text[j] == ".":
+                    # ".." range operator, not a decimal point
+                    if j + 1 < n and text[j + 1] == ".":
+                        break
+                    if is_float:
+                        break
+                    is_float = True
+                j += 1
+            raw = text[i:j]
+            tokens.append(
+                Token("number", float(raw) if is_float else int(raw), i)
+            )
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            lower = word.lower()
+            if lower in KEYWORDS:
+                tokens.append(Token("keyword", lower, i))
+            else:
+                tokens.append(Token("ident", word, i))
+            i = j
+            continue
+        if text.startswith("..", i):
+            tokens.append(Token("dotdot", "..", i))
+            i += 2
+            continue
+        if text.startswith(("<=", ">=", "<>"), i):
+            tokens.append(Token("op", text[i : i + 2], i))
+            i += 2
+            continue
+        if text.startswith("->", i):
+            tokens.append(Token("arrow_right", "->", i))
+            i += 2
+            continue
+        if text.startswith("<-", i):
+            tokens.append(Token("arrow_left", "<-", i))
+            i += 2
+            continue
+        if ch == "-":
+            tokens.append(Token("minus", "-", i))
+            i += 1
+            continue
+        if ch in "<>":
+            tokens.append(Token("op", ch, i))
+            i += 1
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(_PUNCT[ch], ch, i))
+            i += 1
+            continue
+        raise CypherLexError(f"unexpected character {ch!r} at {i}")
+    tokens.append(Token("eof", None, n))
+    return tokens

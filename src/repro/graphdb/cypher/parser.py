@@ -1,0 +1,344 @@
+"""Recursive-descent parser for the Cypher subset."""
+
+from __future__ import annotations
+
+from repro.graphdb.cypher import ast
+from repro.graphdb.cypher.lexer import Token, tokenize
+
+
+class CypherParseError(Exception):
+    pass
+
+
+def parse(text: str) -> ast.Query:
+    parser = _Parser(tokenize(text))
+    query = parser.query()
+    parser.expect("eof")
+    return query
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        self._pos += 1
+        return token
+
+    def check(self, kind: str, value: object = None) -> bool:
+        token = self.current
+        return token.kind == kind and (value is None or token.value == value)
+
+    def accept(self, kind: str, value: object = None) -> Token | None:
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: object = None) -> Token:
+        if not self.check(kind, value):
+            token = self.current
+            want = value if value is not None else kind
+            raise CypherParseError(
+                f"expected {want!r}, got {token.kind} {token.value!r} "
+                f"at position {token.pos}"
+            )
+        return self.advance()
+
+    def keyword(self, word: str) -> bool:
+        return self.accept("keyword", word) is not None
+
+    def ident(self) -> str:
+        return str(self.expect("ident").value)
+
+    # -- query structure ----------------------------------------------------
+
+    def query(self) -> ast.Query:
+        clauses: list = []
+        returns = None
+        while True:
+            if self.check("keyword", "optional") or self.check(
+                "keyword", "match"
+            ):
+                optional = self.keyword("optional")
+                self.expect("keyword", "match")
+                patterns = self.pattern_list()
+                where = self.expression() if self.keyword("where") else None
+                clauses.append(
+                    ast.MatchClause(tuple(patterns), where, optional)
+                )
+            elif self.keyword("create"):
+                clauses.append(ast.CreateClause(tuple(self.pattern_list())))
+            elif self.keyword("set"):
+                clauses.append(self.set_clause())
+            elif self.keyword("return"):
+                returns = self.return_clause()
+                break
+            else:
+                break
+        if not clauses and returns is None:
+            raise CypherParseError("empty query")
+        return ast.Query(tuple(clauses), returns)
+
+    def set_clause(self) -> ast.SetClause:
+        items = [self.set_item()]
+        while self.accept("comma"):
+            items.append(self.set_item())
+        return ast.SetClause(tuple(items))
+
+    def set_item(self) -> ast.SetItem:
+        var = self.ident()
+        self.expect("dot")
+        key = self.ident()
+        self.expect("eq")
+        return ast.SetItem(ast.PropAccess(var, key), self.expression())
+
+    def return_clause(self) -> ast.ReturnClause:
+        distinct = self.keyword("distinct")
+        items = [self.return_item()]
+        while self.accept("comma"):
+            items.append(self.return_item())
+        order_by: list[ast.OrderItem] = []
+        if self.keyword("order"):
+            self.expect("keyword", "by")
+            order_by.append(self.order_item())
+            while self.accept("comma"):
+                order_by.append(self.order_item())
+        limit = None
+        if self.keyword("limit"):
+            limit = int(self.expect("number").value)
+        return ast.ReturnClause(
+            tuple(items), distinct, tuple(order_by), limit
+        )
+
+    def return_item(self) -> ast.ReturnItem:
+        expr = self.expression()
+        alias = None
+        if self.keyword("as"):
+            alias = self.ident()
+        return ast.ReturnItem(expr, alias)
+
+    def order_item(self) -> ast.OrderItem:
+        expr = self.expression()
+        descending = False
+        if self.keyword("desc"):
+            descending = True
+        else:
+            self.keyword("asc")
+        return ast.OrderItem(expr, descending)
+
+    # -- patterns ---------------------------------------------------------------
+
+    def pattern_list(self) -> list[ast.PathPattern]:
+        patterns = [self.path_pattern()]
+        while self.accept("comma"):
+            patterns.append(self.path_pattern())
+        return patterns
+
+    def path_pattern(self) -> ast.PathPattern:
+        assign_var = None
+        # "p = shortestPath((a)-[...]-(b))" or "p = (a)-[...]-(b)"
+        if (
+            self.check("ident")
+            and self._tokens[self._pos + 1].kind == "eq"
+        ):
+            assign_var = self.ident()
+            self.advance()  # eq
+        shortest = False
+        if self.check("ident") and str(self.current.value).lower() in (
+            "shortestpath",
+            "allshortestpaths",
+        ):
+            self.advance()
+            shortest = True
+            self.expect("lparen")
+            elements = self.chain()
+            self.expect("rparen")
+        else:
+            elements = self.chain()
+        return ast.PathPattern(tuple(elements), assign_var, shortest)
+
+    def chain(self) -> list:
+        elements: list = [self.node_pattern()]
+        while self.check("minus") or self.check("arrow_left"):
+            elements.append(self.rel_pattern())
+            elements.append(self.node_pattern())
+        return elements
+
+    def node_pattern(self) -> ast.NodePattern:
+        self.expect("lparen")
+        var = None
+        if self.check("ident"):
+            var = self.ident()
+        labels: list[str] = []
+        while self.accept("colon"):
+            labels.append(self.ident())
+        props = self.prop_map() if self.check("lbrace") else ()
+        self.expect("rparen")
+        return ast.NodePattern(var, tuple(labels), props)
+
+    def rel_pattern(self) -> ast.RelPattern:
+        if self.accept("arrow_left"):
+            incoming = True
+        else:
+            self.expect("minus")
+            incoming = False
+        var = None
+        types: list[str] = []
+        min_hops, max_hops = 1, 1
+        props: tuple = ()
+        if self.accept("lbracket"):
+            if self.check("ident"):
+                var = self.ident()
+            while self.accept("colon"):
+                types.append(self.ident())
+            if self.accept("star"):
+                min_hops, max_hops = self._hop_range()
+            if self.check("lbrace"):
+                props = self.prop_map()
+            self.expect("rbracket")
+        if self.accept("arrow_right"):
+            outgoing = True
+        else:
+            self.expect("minus")
+            outgoing = False
+        if incoming and outgoing:
+            raise CypherParseError("relationship cannot point both ways")
+        direction = "in" if incoming else "out" if outgoing else "both"
+        return ast.RelPattern(
+            var, tuple(types), direction, min_hops, max_hops, props
+        )
+
+    def _hop_range(self) -> tuple[int, int]:
+        # after '*': [n][..[m]] ; bare '*' means 1..unbounded
+        if self.check("number"):
+            lo = int(self.advance().value)
+            if self.accept("dotdot"):
+                if self.check("number"):
+                    return lo, int(self.advance().value)
+                return lo, -1
+            return lo, lo
+        if self.accept("dotdot"):
+            if self.check("number"):
+                return 1, int(self.advance().value)
+            return 1, -1
+        return 1, -1
+
+    def prop_map(self) -> tuple[tuple[str, ast.Expr], ...]:
+        self.expect("lbrace")
+        items: list[tuple[str, ast.Expr]] = []
+        if not self.check("rbrace"):
+            while True:
+                key = self.ident()
+                self.expect("colon")
+                items.append((key, self.expression()))
+                if not self.accept("comma"):
+                    break
+        self.expect("rbrace")
+        return tuple(items)
+
+    # -- expressions --------------------------------------------------------------
+
+    def expression(self) -> ast.Expr:
+        return self.or_expr()
+
+    def or_expr(self) -> ast.Expr:
+        left = self.and_expr()
+        while self.keyword("or"):
+            left = ast.BinaryOp("OR", left, self.and_expr())
+        return left
+
+    def and_expr(self) -> ast.Expr:
+        left = self.not_expr()
+        while self.keyword("and"):
+            left = ast.BinaryOp("AND", left, self.not_expr())
+        return left
+
+    def not_expr(self) -> ast.Expr:
+        if self.keyword("not"):
+            return ast.UnaryOp("NOT", self.not_expr())
+        return self.comparison()
+
+    def comparison(self) -> ast.Expr:
+        left = self.additive()
+        if self.check("op"):
+            op = str(self.advance().value)
+            return ast.BinaryOp(op, left, self.additive())
+        if self.accept("eq"):
+            return ast.BinaryOp("=", left, self.additive())
+        if self.keyword("is"):
+            negated = self.keyword("not")
+            self.expect("keyword", "null")
+            return ast.IsNull(left, negated)
+        return left
+
+    def additive(self) -> ast.Expr:
+        left = self.multiplicative()
+        while True:
+            if self.accept("plus"):
+                left = ast.BinaryOp("+", left, self.multiplicative())
+            elif self.accept("minus"):
+                left = ast.BinaryOp("-", left, self.multiplicative())
+            else:
+                return left
+
+    def multiplicative(self) -> ast.Expr:
+        left = self.unary()
+        while True:
+            if self.accept("star"):
+                left = ast.BinaryOp("*", left, self.unary())
+            elif self.accept("slash"):
+                left = ast.BinaryOp("/", left, self.unary())
+            else:
+                return left
+
+    def unary(self) -> ast.Expr:
+        if self.accept("minus"):
+            return ast.UnaryOp("-", self.unary())
+        return self.primary()
+
+    def primary(self) -> ast.Expr:
+        if self.accept("lparen"):
+            expr = self.expression()
+            self.expect("rparen")
+            return expr
+        if self.check("number") or self.check("string"):
+            return ast.Literal(self.advance().value)
+        if self.accept("dollar"):
+            return ast.Param(self.ident())
+        if self.keyword("null"):
+            return ast.Literal(None)
+        if self.keyword("true"):
+            return ast.Literal(True)
+        if self.keyword("false"):
+            return ast.Literal(False)
+        if self.check("ident"):
+            name = self.ident()
+            if self.accept("lparen"):
+                return self.func_call(name)
+            if self.accept("dot"):
+                return ast.PropAccess(name, self.ident())
+            return ast.VarRef(name)
+        token = self.current
+        raise CypherParseError(
+            f"unexpected token {token.value!r} at position {token.pos}"
+        )
+
+    def func_call(self, name: str) -> ast.FuncCall:
+        lname = name.lower()
+        if self.accept("star"):
+            self.expect("rparen")
+            return ast.FuncCall(lname, (), star=True)
+        if self.accept("rparen"):
+            return ast.FuncCall(lname, ())
+        distinct = self.keyword("distinct")
+        args = [self.expression()]
+        while self.accept("comma"):
+            args.append(self.expression())
+        self.expect("rparen")
+        return ast.FuncCall(lname, tuple(args), distinct=distinct)

@@ -1,0 +1,261 @@
+"""Record stores: nodes, relationships, properties.
+
+Layout mirrors Neo4j:
+
+* node record: first relationship id + labels + property pointer
+* relationship record: type, start node, end node, and *two* "next"
+  pointers threading the record into the start node's chain and the end
+  node's chain
+
+Walking a node's relationships follows its chain, one ``record_read`` per
+hop — no index involved.  Property access charges ``value_cpu`` per value.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.simclock.ledger import charge
+from repro.storage.hashindex import HashIndex
+
+NO_REL = -1
+
+
+class Direction(enum.Enum):
+    OUT = "out"
+    IN = "in"
+    BOTH = "both"
+
+
+@dataclass
+class _NodeRecord:
+    first_rel: int = NO_REL
+    labels: tuple[str, ...] = ()
+    props: dict[str, Any] = field(default_factory=dict)
+    deleted: bool = False
+
+
+@dataclass
+class _RelRecord:
+    rel_type: str
+    start: int
+    end: int
+    start_next: int = NO_REL
+    end_next: int = NO_REL
+    props: dict[str, Any] = field(default_factory=dict)
+    deleted: bool = False
+
+
+class GraphStore:
+    """The property-graph store with index-free adjacency."""
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self._nodes: list[_NodeRecord] = []
+        self._rels: list[_RelRecord] = []
+        # (label, property) -> HashIndex(value -> node ids)
+        self._indexes: dict[tuple[str, str], HashIndex] = {}
+        self.node_count = 0
+        self.rel_count = 0
+
+    # -- schema indexes ------------------------------------------------------
+
+    def create_index(self, label: str, prop: str) -> None:
+        key = (label, prop)
+        if key in self._indexes:
+            return
+        index = HashIndex(name=f"{label}.{prop}")
+        for node_id, record in enumerate(self._nodes):
+            if record.deleted or label not in record.labels:
+                continue
+            value = record.props.get(prop)
+            if value is not None:
+                index.insert(value, node_id)
+        self._indexes[key] = index
+
+    def lookup(self, label: str, prop: str, value: Any) -> list[int]:
+        """Node ids with ``label`` and ``prop == value`` (index required)."""
+        index = self._indexes.get((label, prop))
+        if index is None:
+            raise KeyError(f"no index on :{label}({prop})")
+        return index.search(value)
+
+    def has_index(self, label: str, prop: str) -> bool:
+        return (label, prop) in self._indexes
+
+    # -- write path ------------------------------------------------------------
+
+    def create_node(
+        self, labels: tuple[str, ...] | list[str], props: dict[str, Any]
+    ) -> int:
+        charge("record_write")
+        node_id = len(self._nodes)
+        self._nodes.append(_NodeRecord(labels=tuple(labels), props=dict(props)))
+        self.node_count += 1
+        for (label, prop), index in self._indexes.items():
+            if label in labels and props.get(prop) is not None:
+                index.insert(props[prop], node_id)
+        return node_id
+
+    def create_rel(
+        self,
+        rel_type: str,
+        start: int,
+        end: int,
+        props: dict[str, Any] | None = None,
+    ) -> int:
+        start_record = self._node(start)
+        end_record = self._node(end)
+        charge("record_write", 3)  # rel record + two chain head updates
+        rel_id = len(self._rels)
+        record = _RelRecord(
+            rel_type=rel_type,
+            start=start,
+            end=end,
+            start_next=start_record.first_rel,
+            end_next=end_record.first_rel,
+            props=dict(props or {}),
+        )
+        self._rels.append(record)
+        start_record.first_rel = rel_id
+        end_record.first_rel = rel_id
+        self.rel_count += 1
+        return rel_id
+
+    def delete_node(self, node_id: int) -> None:
+        """Delete a node (must have no relationships, as in Neo4j)."""
+        record = self._node(node_id)
+        if any(True for _ in self.relationships(node_id)):
+            raise ValueError(f"node {node_id} still has relationships")
+        charge("record_write")
+        record.deleted = True
+        self.node_count -= 1
+        for (label, prop), index in self._indexes.items():
+            if label in record.labels and record.props.get(prop) is not None:
+                index.delete(record.props[prop], node_id)
+
+    def set_node_prop(self, node_id: int, key: str, value: Any) -> None:
+        record = self._node(node_id)
+        charge("record_write")
+        old = record.props.get(key)
+        record.props[key] = value
+        for (label, prop), index in self._indexes.items():
+            if label in record.labels and prop == key:
+                if old is not None:
+                    index.delete(old, node_id)
+                if value is not None:
+                    index.insert(value, node_id)
+
+    # -- read path ----------------------------------------------------------------
+
+    def _node(self, node_id: int) -> _NodeRecord:
+        record = self._nodes[node_id]
+        if record.deleted:
+            raise KeyError(f"node {node_id} is deleted")
+        return record
+
+    def node_labels(self, node_id: int) -> tuple[str, ...]:
+        charge("record_read")
+        return self._node(node_id).labels
+
+    def node_props(self, node_id: int) -> dict[str, Any]:
+        record = self._node(node_id)
+        charge("record_read")
+        charge("value_cpu", len(record.props))
+        return dict(record.props)
+
+    def node_prop(self, node_id: int, key: str) -> Any:
+        charge("record_read")
+        charge("value_cpu")
+        return self._node(node_id).props.get(key)
+
+    def rel_props(self, rel_id: int) -> dict[str, Any]:
+        record = self._rels[rel_id]
+        charge("record_read")
+        charge("value_cpu", len(record.props))
+        return dict(record.props)
+
+    def rel_endpoints(self, rel_id: int) -> tuple[str, int, int]:
+        record = self._rels[rel_id]
+        charge("record_read")
+        return record.rel_type, record.start, record.end
+
+    def relationships(
+        self,
+        node_id: int,
+        rel_type: str | None = None,
+        direction: Direction = Direction.BOTH,
+    ) -> Iterator[tuple[int, int]]:
+        """Yield ``(rel_id, other_node_id)`` by walking the record chain."""
+        self._node(node_id)  # existence check
+        rel_id = self._nodes[node_id].first_rel
+        while rel_id != NO_REL:
+            record = self._rels[rel_id]
+            charge("record_read")
+            is_loop = record.start == node_id and record.end == node_id
+            if record.start == node_id:
+                next_id = record.start_next
+                is_out = True
+                other = record.end
+            else:
+                next_id = record.end_next
+                is_out = False
+                other = record.start
+            if not record.deleted and (
+                rel_type is None or record.rel_type == rel_type
+            ):
+                if is_loop or (
+                    direction is Direction.BOTH
+                    or (direction is Direction.OUT and is_out)
+                    or (direction is Direction.IN and not is_out)
+                ):
+                    yield rel_id, other
+            rel_id = next_id
+
+    def degree(
+        self,
+        node_id: int,
+        rel_type: str | None = None,
+        direction: Direction = Direction.BOTH,
+    ) -> int:
+        return sum(1 for _ in self.relationships(node_id, rel_type, direction))
+
+    def nodes_with_label(self, label: str) -> Iterator[int]:
+        """Label scan (no label index: linear over the node store)."""
+        for node_id, record in enumerate(self._nodes):
+            charge("record_read")
+            if not record.deleted and label in record.labels:
+                yield node_id
+
+    def all_nodes(self) -> Iterator[int]:
+        for node_id, record in enumerate(self._nodes):
+            charge("record_read")
+            if not record.deleted:
+                yield node_id
+
+    # -- stats -----------------------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        """Approximate store footprint (records + property data)."""
+        node_bytes = 15 * len(self._nodes)  # Neo4j node record size
+        rel_bytes = 34 * len(self._rels)  # Neo4j relationship record size
+        prop_bytes = 0
+        for record in self._nodes:
+            prop_bytes += sum(
+                8 + _value_bytes(v) for v in record.props.values()
+            )
+        for rel in self._rels:
+            prop_bytes += sum(8 + _value_bytes(v) for v in rel.props.values())
+        index_bytes = sum(16 * len(i) for i in self._indexes.values())
+        return node_bytes + rel_bytes + prop_bytes + index_bytes
+
+
+def _value_bytes(value: Any) -> int:
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    if isinstance(value, (list, tuple)):
+        return sum(_value_bytes(v) for v in value)
+    return 8

@@ -1,0 +1,59 @@
+"""Consumer: offset-tracked polling over all partitions of a topic."""
+
+from __future__ import annotations
+
+from repro.kafka.broker import Broker, Record
+from repro.simclock.ledger import charge
+
+
+class Consumer:
+    """One consumer in a named group (one consumer per group here).
+
+    Polls partitions round-robin from the last *committed* offsets;
+    :meth:`commit` advances them.  Two consumers in different groups see
+    independent offset cursors over the same log.
+    """
+
+    def __init__(self, broker: Broker, group: str, topic: str) -> None:
+        self.broker = broker
+        self.group = group
+        self.topic = topic
+        partitions = broker.partition_count(topic)
+        self._committed = [0] * partitions
+        self._position = [0] * partitions
+        self.records_consumed = 0
+
+    def poll(self, max_records: int = 64) -> list[Record]:
+        """Fetch up to ``max_records`` across partitions (one round trip)."""
+        charge("client_rtt")
+        out: list[Record] = []
+        partitions = self.broker.partition_count(self.topic)
+        for partition in range(partitions):
+            if len(out) >= max_records:
+                break
+            batch = self.broker.fetch(
+                self.topic,
+                partition,
+                self._position[partition],
+                max_records - len(out),
+            )
+            self._position[partition] += len(batch)
+            out.extend(batch)
+        self.records_consumed += len(out)
+        return out
+
+    def commit(self) -> None:
+        """Mark everything polled so far as processed."""
+        charge("client_rtt")
+        self._committed = list(self._position)
+
+    def seek_to_committed(self) -> None:
+        """Rewind to the committed offsets (re-deliver uncommitted)."""
+        self._position = list(self._committed)
+
+    def lag(self) -> int:
+        """Records available but not yet polled."""
+        return sum(
+            self.broker.end_offset(self.topic, p) - self._position[p]
+            for p in range(self.broker.partition_count(self.topic))
+        )

@@ -1,0 +1,14 @@
+"""RDF triple store with a SPARQL subset (the Virtuoso-RDF configuration).
+
+Architecture follows the paper's description of Virtuoso's RDF mode: *one*
+relational table of triples plus several covering indexes (SPO / POS /
+OSP), with a term dictionary interning IRIs and literals.  Reads pay a
+query-translation cost (SPARQL -> index joins) and writes pay multi-index
+maintenance — the two mechanisms behind the paper's findings that
+Virtuoso-SPARQL reads trail Virtuoso-SQL slightly and writes trail by ~3x.
+"""
+
+from repro.rdf.triples import TripleStore
+from repro.rdf.engine import RdfDatabase
+
+__all__ = ["TripleStore", "RdfDatabase"]

@@ -1,0 +1,65 @@
+"""RDF database facade (Virtuoso-RDF configuration)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.rdf.sparql.executor import SparqlExecutor
+from repro.rdf.sparql.parser import SparqlQuery, parse
+from repro.rdf.triples import TripleStore
+from repro.simclock.ledger import charge
+from repro.storage.wal import WriteAheadLog
+
+
+class RdfDatabase:
+    """SPARQL over a single indexed triple table."""
+
+    def __init__(self, name: str = "virtuoso-rdf") -> None:
+        self.name = name
+        self.store = TripleStore(name)
+        self.wal = WriteAheadLog(f"{name}-wal")
+        self.executor = SparqlExecutor(self.store)
+        self._stmt_cache: dict[str, SparqlQuery] = {}
+        self.statements_executed = 0
+
+    def execute(
+        self, sparql: str, params: dict[str, Any] | None = None
+    ) -> list[tuple]:
+        """Run one SPARQL SELECT; returns result rows."""
+        self.statements_executed += 1
+        charge("sql_exec")  # the translated plan still runs as SQL
+        query = self._stmt_cache.get(sparql)
+        if query is None:
+            charge("sparql_parse")
+            charge("sparql_translate")
+            query = parse(sparql)
+            self._stmt_cache[sparql] = query
+        return self.executor.run(query, params)
+
+    # -- updates (SPARQL UPDATE is out of scope; the API mirrors what the
+    # LDBC connectors do: batches of triple inserts per entity) -------------
+
+    def insert_triples(
+        self, triples: list[tuple[Any, Any, Any]]
+    ) -> int:
+        """Insert a batch of triples atomically; returns how many were new.
+
+        Stands in for a SPARQL UPDATE statement: the request is parsed and
+        translated like any other.
+        """
+        charge("sparql_parse")
+        charge("sparql_translate")
+        added = 0
+        for s, p, o in triples:
+            if self.store.add(s, p, o):
+                self.wal.append(b"t")
+                added += 1
+        self.wal.commit()
+        return added
+
+    def size_bytes(self) -> int:
+        return self.store.size_bytes()
+
+    @property
+    def triple_count(self) -> int:
+        return self.store.triple_count

@@ -1,0 +1,17 @@
+"""SPARQL front end: a pragmatic subset for the SNB interactive queries.
+
+Supported::
+
+    SELECT [DISTINCT] ?v ... | (COUNT(*) AS ?c)
+    WHERE { triple . triple . FILTER(expr) ... }
+    [ORDER BY [DESC](?v) ...] [LIMIT n]
+
+Terms: ``?var``, ``$param`` (bound from the params dict at execution),
+``prefix:name`` IRIs, string/number/boolean literals.  FILTER supports
+comparisons, boolean connectives, and ``IN (...)``.
+"""
+
+from repro.rdf.sparql.parser import SparqlParseError, parse
+from repro.rdf.sparql.executor import SparqlExecutor, SparqlRuntimeError
+
+__all__ = ["parse", "SparqlParseError", "SparqlExecutor", "SparqlRuntimeError"]

@@ -1,0 +1,260 @@
+"""BGP evaluation over the triple store.
+
+Translation (charged as ``sparql_translate`` once per query text by the
+engine) greedily orders triple patterns most-bound-first, then evaluates
+them as index nested-loop joins over the SPO/POS/OSP indexes — the classic
+triple-table plan shape SPARQL engines compile to SQL.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.rdf.sparql import parser as ast
+from repro.rdf.triples import TripleStore
+from repro.simclock.ledger import charge
+
+
+class SparqlRuntimeError(Exception):
+    pass
+
+
+Row = dict[str, Any]
+
+
+class SparqlExecutor:
+    def __init__(self, store: TripleStore) -> None:
+        self.store = store
+
+    def run(
+        self, query: ast.SparqlQuery, params: dict[str, Any] | None = None
+    ) -> list[tuple]:
+        params = params or {}
+        rows: list[Row] = [{}]
+        patterns = list(query.patterns)
+        pending_filters = list(query.filters)
+        while patterns:
+            # most-bound-first greedy join order, recomputed as vars bind
+            bound_vars = set(rows[0]) if rows else set()
+            patterns.sort(
+                key=lambda tp: -self._boundness(tp, bound_vars)
+            )
+            pattern = patterns.pop(0)
+            rows = self._join(rows, pattern, params)
+            if not rows:
+                break
+            bound_now = set(rows[0])
+            still_pending = []
+            for flt in pending_filters:
+                if self._filter_vars(flt.expr) <= bound_now:
+                    rows = [
+                        row
+                        for row in rows
+                        if self._eval_filter(flt.expr, row, params)
+                    ]
+                else:
+                    still_pending.append(flt)
+            pending_filters = still_pending
+        for flt in pending_filters:
+            rows = [
+                row for row in rows if self._eval_filter(flt.expr, row, params)
+            ]
+        return self._project(rows, query)
+
+    # -- joins ------------------------------------------------------------------
+
+    def _boundness(self, pattern: ast.TriplePattern, bound: set[str]) -> int:
+        score = 0
+        for term, weight in ((pattern.s, 4), (pattern.p, 1), (pattern.o, 2)):
+            if isinstance(term, ast.Var):
+                if term.name in bound:
+                    score += weight
+            else:
+                score += weight
+        return score
+
+    def _join(
+        self, rows: list[Row], pattern: ast.TriplePattern, params: dict
+    ) -> list[Row]:
+        out: list[Row] = []
+        for row in rows:
+            spo = [
+                self._resolve(term, row, params)
+                for term in (pattern.s, pattern.p, pattern.o)
+            ]
+            lookup = []
+            missing_term = False
+            for bound, value in spo:
+                if not bound:
+                    lookup.append(None)
+                    continue
+                term_id = self.store.lookup_term(value)
+                if term_id is None:
+                    missing_term = True
+                    break
+                lookup.append(term_id)
+            if missing_term:
+                continue
+            for s_id, p_id, o_id in self.store.match_ids(*lookup):
+                charge("tuple_cpu")
+                new_row = dict(row)
+                ok = True
+                for term, term_id in zip(
+                    (pattern.s, pattern.p, pattern.o), (s_id, p_id, o_id)
+                ):
+                    if isinstance(term, ast.Var):
+                        value = self.store.term(term_id)
+                        if term.name in new_row:
+                            if new_row[term.name] != value:
+                                ok = False
+                                break
+                        else:
+                            new_row[term.name] = value
+                if ok:
+                    out.append(new_row)
+        return out
+
+    def _resolve(
+        self, term: ast.Term, row: Row, params: dict
+    ) -> tuple[bool, Any]:
+        """(is_bound, value) for a term in the current row context."""
+        if isinstance(term, ast.Var):
+            if term.name in row:
+                return True, row[term.name]
+            return False, None
+        if isinstance(term, ast.ParamTerm):
+            try:
+                return True, params[term.name]
+            except KeyError:
+                raise SparqlRuntimeError(
+                    f"missing parameter ${term.name}"
+                ) from None
+        if isinstance(term, ast.Iri):
+            return True, term.value
+        return True, term.value  # LiteralTerm
+
+    # -- filters -----------------------------------------------------------------
+
+    def _filter_vars(self, expr: ast.FilterExpr) -> set[str]:
+        if isinstance(expr, ast.Comparison):
+            out = set()
+            for term in (expr.left, expr.right):
+                if isinstance(term, ast.Var):
+                    out.add(term.name)
+            return out
+        if isinstance(expr, ast.InFilter):
+            out = set()
+            for term in (expr.needle, *expr.items):
+                if isinstance(term, ast.Var):
+                    out.add(term.name)
+            return out
+        if isinstance(expr, ast.BoolOp):
+            return self._filter_vars(expr.left) | self._filter_vars(expr.right)
+        if isinstance(expr, ast.NotOp):
+            return self._filter_vars(expr.operand)
+        raise SparqlRuntimeError(f"unknown filter {expr!r}")
+
+    def _eval_filter(
+        self, expr: ast.FilterExpr, row: Row, params: dict
+    ) -> bool:
+        charge("value_cpu")
+        if isinstance(expr, ast.BoolOp):
+            left = self._eval_filter(expr.left, row, params)
+            if expr.op == "AND":
+                return left and self._eval_filter(expr.right, row, params)
+            return left or self._eval_filter(expr.right, row, params)
+        if isinstance(expr, ast.NotOp):
+            return not self._eval_filter(expr.operand, row, params)
+        if isinstance(expr, ast.Comparison):
+            _, left = self._resolve(expr.left, row, params)
+            _, right = self._resolve(expr.right, row, params)
+            if left is None or right is None:
+                return False
+            return {
+                "=": left == right,
+                "<>": left != right,
+                "<": left < right,
+                "<=": left <= right,
+                ">": left > right,
+                ">=": left >= right,
+            }[expr.op]
+        if isinstance(expr, ast.InFilter):
+            _, needle = self._resolve(expr.needle, row, params)
+            values = [
+                self._resolve(item, row, params)[1] for item in expr.items
+            ]
+            found = needle in values
+            return not found if expr.negated else found
+        raise SparqlRuntimeError(f"unknown filter {expr!r}")
+
+    # -- projection ----------------------------------------------------------------
+
+    def _project(self, rows: list[Row], query: ast.SparqlQuery) -> list[tuple]:
+        if query.star:
+            if not rows:
+                return []
+            names = sorted(rows[0])
+            projected = [tuple(row.get(n) for n in names) for row in rows]
+        elif any(item.count for item in query.items):
+            projected = [self._aggregate(rows, query)]
+        else:
+            names = [item.var.name for item in query.items]  # type: ignore[union-attr]
+            projected = [
+                tuple(row.get(n) for n in names) for row in rows
+            ]
+        charge("value_cpu", sum(len(r) for r in projected))
+        if query.distinct:
+            seen: set[tuple] = set()
+            unique = []
+            for row in projected:
+                if row not in seen:
+                    seen.add(row)
+                    unique.append(row)
+            projected = unique
+        if query.order_by:
+            if query.star or any(item.count for item in query.items):
+                raise SparqlRuntimeError(
+                    "ORDER BY requires explicit SELECT variables"
+                )
+            names = [item.var.name for item in query.items]  # type: ignore[union-attr]
+            for order in reversed(query.order_by):
+                if order.var.name not in names:
+                    raise SparqlRuntimeError(
+                        f"ORDER BY variable ?{order.var.name} not selected"
+                    )
+                idx = names.index(order.var.name)
+                projected.sort(
+                    key=lambda r: (r[idx] is not None, r[idx]),
+                    reverse=order.descending,
+                )
+        if query.limit is not None:
+            projected = projected[: query.limit]
+        return projected
+
+    def _aggregate(self, rows: list[Row], query: ast.SparqlQuery) -> tuple:
+        values = []
+        for item in query.items:
+            if not item.count:
+                raise SparqlRuntimeError(
+                    "mixing plain variables with COUNT needs GROUP BY "
+                    "(unsupported)"
+                )
+            if item.var is None:
+                values.append(len(rows))
+            else:
+                seen = {
+                    row[item.var.name]
+                    for row in rows
+                    if row.get(item.var.name) is not None
+                }
+                if item.count_distinct:
+                    values.append(len(seen))
+                else:
+                    values.append(
+                        sum(
+                            1
+                            for row in rows
+                            if row.get(item.var.name) is not None
+                        )
+                    )
+        return tuple(values)

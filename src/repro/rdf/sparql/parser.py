@@ -1,0 +1,415 @@
+"""Lexer + parser for the SPARQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+KEYWORDS = {
+    "select", "distinct", "where", "filter", "order", "by", "asc", "desc",
+    "limit", "as", "count", "in", "and", "or", "not", "true", "false",
+}
+
+
+class SparqlParseError(Exception):
+    pass
+
+
+# --- AST ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+
+@dataclass(frozen=True)
+class ParamTerm:
+    name: str
+
+
+@dataclass(frozen=True)
+class Iri:
+    value: str  # prefixed form, e.g. "snb:Person"
+
+
+@dataclass(frozen=True)
+class LiteralTerm:
+    value: Any
+
+
+Term = Var | ParamTerm | Iri | LiteralTerm
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    s: Term
+    p: Term
+    o: Term
+
+
+@dataclass(frozen=True)
+class Comparison:
+    op: str
+    left: Term
+    right: Term
+
+
+@dataclass(frozen=True)
+class InFilter:
+    needle: Term
+    items: tuple[Term, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    op: str  # AND | OR
+    left: "FilterExpr"
+    right: "FilterExpr"
+
+
+@dataclass(frozen=True)
+class NotOp:
+    operand: "FilterExpr"
+
+
+FilterExpr = Comparison | InFilter | BoolOp | NotOp
+
+
+@dataclass(frozen=True)
+class Filter:
+    expr: FilterExpr
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    var: Var | None  # None => COUNT(*) aggregate
+    alias: str | None = None
+    count: bool = False
+    count_distinct: bool = False
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    var: Var
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SparqlQuery:
+    items: tuple[SelectItem, ...]
+    star: bool
+    patterns: tuple[TriplePattern, ...]
+    filters: tuple[Filter, ...]
+    distinct: bool = False
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+
+
+# --- lexer --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: Any
+    pos: int
+
+
+_PUNCT = {
+    "{": "lbrace", "}": "rbrace", "(": "lparen", ")": "rparen",
+    ".": "dot", ",": "comma", "*": "star",
+}
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "#":
+            end = text.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if ch in "?$":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            if j == i + 1:
+                raise SparqlParseError(f"dangling {ch!r} at {i}")
+            kind = "var" if ch == "?" else "param"
+            tokens.append(Token(kind, text[i + 1 : j], i))
+            i = j
+            continue
+        if ch in "'\"":
+            j = i + 1
+            parts: list[str] = []
+            while True:
+                if j >= n:
+                    raise SparqlParseError(f"unterminated string at {i}")
+                if text[j] == ch:
+                    break
+                parts.append(text[j])
+                j += 1
+            tokens.append(Token("string", "".join(parts), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            is_float = False
+            while j < n and (text[j].isdigit() or text[j] == "."):
+                if text[j] == ".":
+                    # trailing dot is the triple terminator
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    is_float = True
+                j += 1
+            raw = text[i:j]
+            tokens.append(
+                Token("number", float(raw) if is_float else int(raw), i)
+            )
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] in "_"):
+                j += 1
+            # prefixed IRI?
+            if j < n and text[j] == ":":
+                k = j + 1
+                while k < n and (text[k].isalnum() or text[k] in "_-"):
+                    k += 1
+                tokens.append(Token("iri", text[i:k], i))
+                i = k
+                continue
+            word = text[i:j].lower()
+            if word in KEYWORDS:
+                tokens.append(Token("keyword", word, i))
+            else:
+                raise SparqlParseError(
+                    f"bare identifier {text[i:j]!r} at {i} "
+                    f"(IRIs need a prefix)"
+                )
+            i = j
+            continue
+        if text.startswith(("<=", ">=", "!="), i):
+            tokens.append(Token("op", text[i : i + 2], i))
+            i += 2
+            continue
+        if text.startswith("&&", i):
+            tokens.append(Token("keyword", "and", i))
+            i += 2
+            continue
+        if text.startswith("||", i):
+            tokens.append(Token("keyword", "or", i))
+            i += 2
+            continue
+        if ch in "=<>":
+            tokens.append(Token("op", ch, i))
+            i += 1
+            continue
+        if ch == "!":
+            tokens.append(Token("keyword", "not", i))
+            i += 1
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(_PUNCT[ch], ch, i))
+            i += 1
+            continue
+        raise SparqlParseError(f"unexpected character {ch!r} at {i}")
+    tokens.append(Token("eof", None, n))
+    return tokens
+
+
+# --- parser -----------------------------------------------------------------------
+
+
+def parse(text: str) -> SparqlQuery:
+    return _Parser(tokenize(text)).query()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        self._pos += 1
+        return token
+
+    def check(self, kind: str, value: object = None) -> bool:
+        token = self.current
+        return token.kind == kind and (value is None or token.value == value)
+
+    def accept(self, kind: str, value: object = None) -> Token | None:
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: object = None) -> Token:
+        if not self.check(kind, value):
+            token = self.current
+            raise SparqlParseError(
+                f"expected {value or kind!r}, got {token.kind} "
+                f"{token.value!r} at {token.pos}"
+            )
+        return self.advance()
+
+    def keyword(self, word: str) -> bool:
+        return self.accept("keyword", word) is not None
+
+    def query(self) -> SparqlQuery:
+        self.expect("keyword", "select")
+        distinct = self.keyword("distinct")
+        items: list[SelectItem] = []
+        star = False
+        if self.accept("star"):
+            star = True
+        else:
+            while True:
+                if self.check("var"):
+                    items.append(SelectItem(Var(self.advance().value)))
+                elif self.accept("lparen"):
+                    self.expect("keyword", "count")
+                    self.expect("lparen")
+                    count_distinct = self.keyword("distinct")
+                    var = None
+                    if self.check("var"):
+                        var = Var(self.advance().value)
+                    else:
+                        self.expect("star")
+                    self.expect("rparen")
+                    self.expect("keyword", "as")
+                    alias = self.expect("var").value
+                    self.expect("rparen")
+                    items.append(
+                        SelectItem(var, alias, True, count_distinct)
+                    )
+                else:
+                    break
+        if not star and not items:
+            raise SparqlParseError("SELECT needs variables or *")
+        self.expect("keyword", "where")
+        self.expect("lbrace")
+        patterns: list[TriplePattern] = []
+        filters: list[Filter] = []
+        while not self.check("rbrace"):
+            if self.keyword("filter"):
+                self.expect("lparen")
+                filters.append(Filter(self.filter_expr()))
+                self.expect("rparen")
+                self.accept("dot")
+                continue
+            s = self.term()
+            p = self.term()
+            o = self.term()
+            patterns.append(TriplePattern(s, p, o))
+            if not self.accept("dot"):
+                if not self.check("rbrace") and not self.check(
+                    "keyword", "filter"
+                ):
+                    raise SparqlParseError(
+                        f"expected '.' or '}}' at {self.current.pos}"
+                    )
+        self.expect("rbrace")
+        order_by: list[OrderItem] = []
+        if self.keyword("order"):
+            self.expect("keyword", "by")
+            while True:
+                if self.keyword("desc"):
+                    self.expect("lparen")
+                    order_by.append(
+                        OrderItem(Var(self.expect("var").value), True)
+                    )
+                    self.expect("rparen")
+                elif self.keyword("asc"):
+                    self.expect("lparen")
+                    order_by.append(
+                        OrderItem(Var(self.expect("var").value), False)
+                    )
+                    self.expect("rparen")
+                elif self.check("var"):
+                    order_by.append(OrderItem(Var(self.advance().value)))
+                else:
+                    break
+        limit = None
+        if self.keyword("limit"):
+            limit = int(self.expect("number").value)
+        self.expect("eof")
+        return SparqlQuery(
+            tuple(items),
+            star,
+            tuple(patterns),
+            tuple(filters),
+            distinct,
+            tuple(order_by),
+            limit,
+        )
+
+    def term(self) -> Term:
+        if self.check("var"):
+            return Var(self.advance().value)
+        if self.check("param"):
+            return ParamTerm(self.advance().value)
+        if self.check("iri"):
+            return Iri(self.advance().value)
+        if self.check("string") or self.check("number"):
+            return LiteralTerm(self.advance().value)
+        if self.keyword("true"):
+            return LiteralTerm(True)
+        if self.keyword("false"):
+            return LiteralTerm(False)
+        token = self.current
+        raise SparqlParseError(
+            f"expected a term, got {token.kind} {token.value!r} at {token.pos}"
+        )
+
+    # filter expressions: or < and < not < comparison/in
+    def filter_expr(self) -> FilterExpr:
+        left = self.filter_and()
+        while self.keyword("or"):
+            left = BoolOp("OR", left, self.filter_and())
+        return left
+
+    def filter_and(self) -> FilterExpr:
+        left = self.filter_not()
+        while self.keyword("and"):
+            left = BoolOp("AND", left, self.filter_not())
+        return left
+
+    def filter_not(self) -> FilterExpr:
+        if self.keyword("not"):
+            return NotOp(self.filter_not())
+        if self.accept("lparen"):
+            inner = self.filter_expr()
+            self.expect("rparen")
+            return inner
+        return self.filter_comparison()
+
+    def filter_comparison(self) -> FilterExpr:
+        left = self.term()
+        if self.keyword("in"):
+            return InFilter(left, self._in_items())
+        if self.keyword("not"):
+            self.expect("keyword", "in")
+            return InFilter(left, self._in_items(), negated=True)
+        op_token = self.expect("op")
+        op = "<>" if op_token.value == "!=" else str(op_token.value)
+        return Comparison(op, left, self.term())
+
+    def _in_items(self) -> tuple[Term, ...]:
+        self.expect("lparen")
+        items = [self.term()]
+        while self.accept("comma"):
+            items.append(self.term())
+        self.expect("rparen")
+        return tuple(items)

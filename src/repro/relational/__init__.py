@@ -1,0 +1,17 @@
+"""Relational engine: catalog, tables, and a SQL lexer/parser/planner/executor.
+
+Two storage layouts are supported, matching the paper's two RDBMSes:
+
+* ``row``    — slotted-page heap files (PostgreSQL-like)
+* ``column`` — dictionary-encoded column vectors (Virtuoso-like), plus a
+  built-in graph-aware shortest-path table function (Virtuoso's
+  "optimized transitivity support")
+
+The public entry point is :class:`repro.relational.engine.Database`.
+"""
+
+from repro.relational.catalog import Catalog
+from repro.relational.engine import Database
+from repro.relational.table import Table
+
+__all__ = ["Database", "Catalog", "Table"]

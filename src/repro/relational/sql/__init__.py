@@ -1,0 +1,6 @@
+"""SQL front end: lexer, AST, parser, planner, and executor."""
+
+from repro.relational.sql.lexer import SqlLexError, tokenize
+from repro.relational.sql.parser import SqlParseError, parse
+
+__all__ = ["tokenize", "parse", "SqlLexError", "SqlParseError"]

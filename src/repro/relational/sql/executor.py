@@ -1,0 +1,698 @@
+"""Physical operators and expression compilation (iterator model).
+
+Rows are plain tuples.  A :class:`Schema` maps ``binding.column`` names to
+tuple positions; expressions compile to closures over ``(row, params)``.
+
+NULL semantics are simplified two-valued logic: comparisons involving NULL
+are false, arithmetic with NULL yields NULL, ``IS [NOT] NULL`` behaves as
+in SQL.  This is documented engine behaviour and consistent across every
+connector, so it does not distort cross-system comparisons.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Sequence
+from typing import Any
+
+from repro.simclock.ledger import charge
+from repro.relational.sql import ast
+from repro.relational.table import Table
+
+
+class SqlRuntimeError(Exception):
+    pass
+
+
+class ExecContext:
+    """Per-execution state: statement parameters."""
+
+    __slots__ = ("params",)
+
+    def __init__(self, params: Sequence[Any] = ()) -> None:
+        self.params = tuple(params)
+
+
+class Schema:
+    """Ordered (binding, column) pairs describing operator output rows."""
+
+    def __init__(self, columns: Sequence[tuple[str | None, str]]) -> None:
+        self.columns = list(columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def resolve(self, table: str | None, column: str) -> int:
+        matches = [
+            i
+            for i, (binding, name) in enumerate(self.columns)
+            if name == column and (table is None or binding == table)
+        ]
+        if not matches:
+            target = f"{table}.{column}" if table else column
+            raise SqlRuntimeError(f"unknown column {target!r}")
+        if len(matches) > 1:
+            target = f"{table}.{column}" if table else column
+            raise SqlRuntimeError(f"ambiguous column {target!r}")
+        return matches[0]
+
+    def concat(self, other: "Schema") -> "Schema":
+        return Schema(self.columns + other.columns)
+
+    def names(self) -> list[str]:
+        return [name for _, name in self.columns]
+
+    @staticmethod
+    def for_table(table: Table, binding: str) -> "Schema":
+        return Schema([(binding, c) for c in table.column_names])
+
+
+ExprFn = Callable[[tuple, tuple], Any]
+
+
+def compile_expr(
+    expr: ast.Expr,
+    schema: Schema,
+    funcs: dict[str, Callable[..., Any]] | None = None,
+) -> ExprFn:
+    """Compile an expression into ``fn(row, params) -> value``.
+
+    ``funcs`` maps scalar built-in names (e.g. the Virtuoso-like engine's
+    ``shortest_path_len``) to Python callables receiving evaluated
+    arguments.
+    """
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        return lambda row, params: value
+    if isinstance(expr, ast.Param):
+        index = expr.index
+        return lambda row, params: params[index]
+    if isinstance(expr, ast.ColumnRef):
+        pos = schema.resolve(expr.table, expr.column)
+        return lambda row, params: row[pos]
+    if isinstance(expr, ast.UnaryOp):
+        operand = compile_expr(expr.operand, schema, funcs)
+        if expr.op == "NOT":
+            return lambda row, params: not operand(row, params)
+        if expr.op == "-":
+            return lambda row, params: _negate(operand(row, params))
+        raise SqlRuntimeError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, ast.BinaryOp):
+        return _compile_binary(expr, schema, funcs)
+    if isinstance(expr, ast.IsNull):
+        operand = compile_expr(expr.operand, schema, funcs)
+        if expr.negated:
+            return lambda row, params: operand(row, params) is not None
+        return lambda row, params: operand(row, params) is None
+    if isinstance(expr, ast.InList):
+        needle = compile_expr(expr.needle, schema, funcs)
+        items = [compile_expr(e, schema, funcs) for e in expr.items]
+        negated = expr.negated
+
+        def run_in(row: tuple, params: tuple) -> bool:
+            value = needle(row, params)
+            if value is None:
+                return False
+            found = any(value == item(row, params) for item in items)
+            return not found if negated else found
+
+        return run_in
+    if isinstance(expr, ast.FuncCall):
+        if funcs is not None and expr.name in funcs:
+            fn = funcs[expr.name]
+            arg_fns = [compile_expr(a, schema, funcs) for a in expr.args]
+            return lambda row, params: fn(
+                *(arg(row, params) for arg in arg_fns)
+            )
+        raise SqlRuntimeError(
+            f"function {expr.name!r} is not valid in this context"
+        )
+    raise SqlRuntimeError(f"cannot compile expression {expr!r}")
+
+
+def _negate(value: Any) -> Any:
+    return None if value is None else -value
+
+
+def _compile_binary(
+    expr: ast.BinaryOp,
+    schema: Schema,
+    funcs: dict[str, Callable[..., Any]] | None = None,
+) -> ExprFn:
+    left = compile_expr(expr.left, schema, funcs)
+    right = compile_expr(expr.right, schema, funcs)
+    op = expr.op
+    if op == "AND":
+        return lambda row, params: bool(left(row, params)) and bool(
+            right(row, params)
+        )
+    if op == "OR":
+        return lambda row, params: bool(left(row, params)) or bool(
+            right(row, params)
+        )
+
+    def compare(fn: Callable[[Any, Any], Any]) -> ExprFn:
+        def run(row: tuple, params: tuple) -> Any:
+            lv, rv = left(row, params), right(row, params)
+            if lv is None or rv is None:
+                return False
+            return fn(lv, rv)
+
+        return run
+
+    def arith(fn: Callable[[Any, Any], Any]) -> ExprFn:
+        def run(row: tuple, params: tuple) -> Any:
+            lv, rv = left(row, params), right(row, params)
+            if lv is None or rv is None:
+                return None
+            return fn(lv, rv)
+
+        return run
+
+    table = {
+        "=": compare(lambda a, b: a == b),
+        "<>": compare(lambda a, b: a != b),
+        "<": compare(lambda a, b: a < b),
+        "<=": compare(lambda a, b: a <= b),
+        ">": compare(lambda a, b: a > b),
+        ">=": compare(lambda a, b: a >= b),
+        "+": arith(lambda a, b: a + b),
+        "-": arith(lambda a, b: a - b),
+        "*": arith(lambda a, b: a * b),
+        "/": arith(lambda a, b: a / b),
+    }
+    try:
+        return table[op]
+    except KeyError:
+        raise SqlRuntimeError(f"unknown operator {op!r}") from None
+
+
+# --- physical operators ---------------------------------------------------------
+
+
+class PlanNode:
+    """Base class: every operator exposes a schema and a row iterator."""
+
+    schema: Schema
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        raise NotImplementedError
+
+    def explain(self, depth: int = 0) -> str:
+        lines = ["  " * depth + self._describe()]
+        for child in self._children():
+            lines.append(child.explain(depth + 1))
+        return "\n".join(lines)
+
+    def _describe(self) -> str:
+        return type(self).__name__
+
+    def _children(self) -> list["PlanNode"]:
+        return []
+
+
+class SingleRow(PlanNode):
+    """FROM-less SELECT: one empty row."""
+
+    def __init__(self) -> None:
+        self.schema = Schema([])
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        yield ()
+
+
+class SeqScan(PlanNode):
+    def __init__(self, table: Table, binding: str) -> None:
+        self.table = table
+        self.binding = binding
+        self.schema = Schema.for_table(table, binding)
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        for _handle, row in self.table.scan():
+            charge("tuple_cpu")
+            yield row
+
+    def _describe(self) -> str:
+        return f"SeqScan({self.table.name} as {self.binding})"
+
+
+class IndexEqScan(PlanNode):
+    """Index lookup with a key known at runtime (constant or parameter)."""
+
+    def __init__(
+        self,
+        table: Table,
+        binding: str,
+        column: str,
+        key_fn: ExprFn,
+        needed: list[str] | None = None,
+    ) -> None:
+        self.table = table
+        self.binding = binding
+        self.column = column
+        self.key_fn = key_fn
+        self.needed = needed
+        self.schema = Schema.for_table(table, binding)
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        key = self.key_fn((), ctx.params)
+        handles = self.table.lookup(self.column, key)
+        for row in self.table.fetch_batch(handles, self.needed):
+            charge("tuple_cpu")
+            yield row
+
+    def _describe(self) -> str:
+        return (
+            f"IndexEqScan({self.table.name} as {self.binding} "
+            f"on {self.column})"
+        )
+
+
+class Filter(PlanNode):
+    def __init__(self, child: PlanNode, predicate: ExprFn) -> None:
+        self.child = child
+        self.predicate = predicate
+        self.schema = child.schema
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        predicate = self.predicate
+        for row in self.child.rows(ctx):
+            charge("tuple_cpu")
+            if predicate(row, ctx.params):
+                yield row
+
+    def _children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+class Project(PlanNode):
+    def __init__(
+        self, child: PlanNode, exprs: list[ExprFn], names: list[str]
+    ) -> None:
+        self.child = child
+        self.exprs = exprs
+        self.schema = Schema([(None, n) for n in names])
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        params = ctx.params
+        for row in self.child.rows(ctx):
+            charge("tuple_cpu")
+            yield tuple(fn(row, params) for fn in self.exprs)
+
+    def _children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+class IndexNLJoin(PlanNode):
+    """For each outer row, probe the inner table's index."""
+
+    def __init__(
+        self,
+        outer: PlanNode,
+        table: Table,
+        binding: str,
+        inner_column: str,
+        outer_key_fn: ExprFn,
+        kind: str = "inner",
+        residual: ExprFn | None = None,
+    ) -> None:
+        self.outer = outer
+        self.table = table
+        self.binding = binding
+        self.inner_column = inner_column
+        self.outer_key_fn = outer_key_fn
+        self.kind = kind
+        self.residual = residual
+        self.schema = outer.schema.concat(Schema.for_table(table, binding))
+        self._null_row = (None,) * len(table.column_names)
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        params = ctx.params
+        for outer_row in self.outer.rows(ctx):
+            key = self.outer_key_fn(outer_row, params)
+            matched = False
+            if key is not None:
+                for handle in self.table.lookup(self.inner_column, key):
+                    charge("tuple_cpu")
+                    combined = outer_row + self.table.fetch(handle)
+                    if self.residual is not None and not self.residual(
+                        combined, params
+                    ):
+                        continue
+                    matched = True
+                    yield combined
+            if not matched and self.kind == "left":
+                yield outer_row + self._null_row
+
+    def _describe(self) -> str:
+        return (
+            f"IndexNLJoin[{self.kind}]({self.table.name} as {self.binding} "
+            f"on {self.inner_column})"
+        )
+
+    def _children(self) -> list[PlanNode]:
+        return [self.outer]
+
+
+class VectorizedIndexNLJoin(PlanNode):
+    """Index nested-loop join with vectorized inner fetches.
+
+    Used when the inner table is columnar (the Virtuoso engine): the outer
+    input is drained, all matching inner handles are collected, and the
+    needed columns are fetched in one batch per column — amortizing
+    positional access, at the price of a per-batch setup cost.
+    """
+
+    def __init__(
+        self,
+        outer: PlanNode,
+        table: Table,
+        binding: str,
+        inner_column: str,
+        outer_key_fn: ExprFn,
+        kind: str = "inner",
+        residual: ExprFn | None = None,
+        needed: list[str] | None = None,
+    ) -> None:
+        self.outer = outer
+        self.table = table
+        self.binding = binding
+        self.inner_column = inner_column
+        self.outer_key_fn = outer_key_fn
+        self.kind = kind
+        self.residual = residual
+        self.needed = needed
+        self.schema = outer.schema.concat(Schema.for_table(table, binding))
+        self._null_row = (None,) * len(table.column_names)
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        params = ctx.params
+        outer_rows = list(self.outer.rows(ctx))
+        per_outer: list[list] = []
+        all_handles: list = []
+        for outer_row in outer_rows:
+            key = self.outer_key_fn(outer_row, params)
+            handles = (
+                self.table.lookup(self.inner_column, key)
+                if key is not None
+                else []
+            )
+            per_outer.append(handles)
+            all_handles.extend(handles)
+        fetched = self.table.fetch_batch(all_handles, self.needed)
+        charge("tuple_vec", len(fetched))
+        cursor = 0
+        for outer_row, handles in zip(outer_rows, per_outer):
+            matched = False
+            for _ in handles:
+                inner_row = fetched[cursor]
+                cursor += 1
+                combined = outer_row + inner_row
+                if self.residual is not None and not self.residual(
+                    combined, params
+                ):
+                    continue
+                matched = True
+                yield combined
+            if not matched and self.kind == "left":
+                yield outer_row + self._null_row
+
+    def _describe(self) -> str:
+        return (
+            f"VectorizedIndexNLJoin[{self.kind}]({self.table.name} as "
+            f"{self.binding} on {self.inner_column})"
+        )
+
+    def _children(self) -> list[PlanNode]:
+        return [self.outer]
+
+
+class HashJoin(PlanNode):
+    """Build on the right input, probe from the left."""
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        left_key_fn: ExprFn,
+        right_key_fn: ExprFn,
+        kind: str = "inner",
+        residual: ExprFn | None = None,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.left_key_fn = left_key_fn
+        self.right_key_fn = right_key_fn
+        self.kind = kind
+        self.residual = residual
+        self.schema = left.schema.concat(right.schema)
+        self._null_row = (None,) * len(right.schema)
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        params = ctx.params
+        build: dict[Any, list[tuple]] = {}
+        for row in self.right.rows(ctx):
+            charge("tuple_cpu")
+            key = self.right_key_fn(row, params)
+            if key is not None:
+                build.setdefault(key, []).append(row)
+        for left_row in self.left.rows(ctx):
+            charge("hash_probe")
+            key = self.left_key_fn(left_row, params)
+            matched = False
+            for right_row in build.get(key, ()) if key is not None else ():
+                charge("tuple_cpu")
+                combined = left_row + right_row
+                if self.residual is not None and not self.residual(
+                    combined, params
+                ):
+                    continue
+                matched = True
+                yield combined
+            if not matched and self.kind == "left":
+                yield left_row + self._null_row
+
+    def _children(self) -> list[PlanNode]:
+        return [self.left, self.right]
+
+
+class NLJoin(PlanNode):
+    """Nested-loop fallback for non-equality conditions."""
+
+    def __init__(
+        self,
+        outer: PlanNode,
+        inner: PlanNode,
+        predicate: ExprFn | None,
+        kind: str = "inner",
+    ) -> None:
+        self.outer = outer
+        self.inner = inner
+        self.predicate = predicate
+        self.kind = kind
+        self.schema = outer.schema.concat(inner.schema)
+        self._null_row = (None,) * len(inner.schema)
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        params = ctx.params
+        inner_rows = list(self.inner.rows(ctx))
+        for outer_row in self.outer.rows(ctx):
+            matched = False
+            for inner_row in inner_rows:
+                charge("tuple_cpu")
+                combined = outer_row + inner_row
+                if self.predicate is None or self.predicate(combined, params):
+                    matched = True
+                    yield combined
+            if not matched and self.kind == "left":
+                yield outer_row + self._null_row
+
+    def _children(self) -> list[PlanNode]:
+        return [self.outer, self.inner]
+
+
+class Aggregate(PlanNode):
+    """Hash aggregation.
+
+    ``group_fns`` compute the grouping key; ``agg_specs`` are
+    ``(func_name, arg_fn or None, distinct)`` tuples.  Output rows are
+    group values followed by aggregate values.
+    """
+
+    def __init__(
+        self,
+        child: PlanNode,
+        group_fns: list[ExprFn],
+        agg_specs: list[tuple[str, ExprFn | None, bool]],
+        out_names: list[str],
+    ) -> None:
+        self.child = child
+        self.group_fns = group_fns
+        self.agg_specs = agg_specs
+        self.schema = Schema([(None, n) for n in out_names])
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        params = ctx.params
+        groups: dict[tuple, list[_AggState]] = {}
+        saw_any = False
+        for row in self.child.rows(ctx):
+            charge("tuple_cpu")
+            saw_any = True
+            key = tuple(fn(row, params) for fn in self.group_fns)
+            states = groups.get(key)
+            if states is None:
+                states = [_AggState(name, distinct) for name, _, distinct in self.agg_specs]
+                groups[key] = states
+            for state, (_, arg_fn, _) in zip(states, self.agg_specs):
+                state.feed(
+                    arg_fn(row, params) if arg_fn is not None else 1
+                )
+        if not groups and not self.group_fns and not saw_any:
+            # global aggregate over empty input still yields one row
+            states = [_AggState(name, distinct) for name, _, distinct in self.agg_specs]
+            yield tuple(s.result() for s in states)
+            return
+        for key, states in groups.items():
+            yield key + tuple(s.result() for s in states)
+
+    def _children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+class _AggState:
+    __slots__ = ("func", "distinct", "count", "total", "minimum", "maximum", "seen")
+
+    def __init__(self, func: str, distinct: bool) -> None:
+        self.func = func
+        self.distinct = distinct
+        self.count = 0
+        self.total: Any = None
+        self.minimum: Any = None
+        self.maximum: Any = None
+        self.seen: set | None = set() if distinct else None
+
+    def feed(self, value: Any) -> None:
+        if value is None:
+            return
+        if self.seen is not None:
+            if value in self.seen:
+                return
+            self.seen.add(value)
+        self.count += 1
+        self.total = value if self.total is None else self.total + value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def result(self) -> Any:
+        if self.func == "count":
+            return self.count
+        if self.func == "sum":
+            return self.total
+        if self.func == "min":
+            return self.minimum
+        if self.func == "max":
+            return self.maximum
+        if self.func == "avg":
+            return None if self.count == 0 else self.total / self.count
+        raise SqlRuntimeError(f"unknown aggregate {self.func!r}")
+
+
+class Sort(PlanNode):
+    def __init__(
+        self,
+        child: PlanNode,
+        key_fns: list[ExprFn],
+        descending: list[bool],
+    ) -> None:
+        self.child = child
+        self.key_fns = key_fns
+        self.descending = descending
+        self.schema = child.schema
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        params = ctx.params
+        materialized = list(self.child.rows(ctx))
+        charge("tuple_cpu", len(materialized))
+
+        # stable multi-key sort: apply keys right-to-left; NULLs sort first
+        for key_fn, desc in reversed(list(zip(self.key_fns, self.descending))):
+            materialized.sort(
+                key=lambda row: _sort_key(key_fn(row, params)),
+                reverse=desc,
+            )
+        yield from materialized
+
+    def _children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+def _sort_key(value: Any) -> tuple:
+    # bool < int comparisons are fine; strings never mix with numbers in a
+    # single column, so tagging by NULL-ness suffices
+    return (value is not None, value)
+
+
+class Limit(PlanNode):
+    def __init__(self, child: PlanNode, limit: int) -> None:
+        self.child = child
+        self.limit = limit
+        self.schema = child.schema
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        if self.limit <= 0:
+            return
+        emitted = 0
+        for row in self.child.rows(ctx):
+            yield row
+            emitted += 1
+            if emitted >= self.limit:
+                return
+
+    def _children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+class Distinct(PlanNode):
+    def __init__(self, child: PlanNode) -> None:
+        self.child = child
+        self.schema = child.schema
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        seen: set[tuple] = set()
+        for row in self.child.rows(ctx):
+            charge("hash_probe")
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+    def _children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+class RowsHolder:
+    """A mutable container of rows shared by materialized scans."""
+
+    __slots__ = ("rows",)
+
+    def __init__(self) -> None:
+        self.rows: list[tuple] = []
+
+
+class MaterializedScan(PlanNode):
+    """Scan over a shared in-memory row list (recursive CTE tables)."""
+
+    def __init__(
+        self, holder: RowsHolder, binding: str, columns: Sequence[str]
+    ) -> None:
+        self.holder = holder
+        self.binding = binding
+        self.schema = Schema([(binding, c) for c in columns])
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        for row in self.holder.rows:
+            charge("tuple_cpu")
+            yield row
+
+    def _describe(self) -> str:
+        return f"MaterializedScan({self.binding})"

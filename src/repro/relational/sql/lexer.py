@@ -1,0 +1,112 @@
+"""Tokenizer for the SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+KEYWORDS = {
+    "select", "distinct", "from", "join", "left", "outer", "inner", "on",
+    "where", "group", "order", "by", "asc", "desc", "limit", "and", "or",
+    "not", "in", "is", "null", "true", "false", "insert", "into", "values",
+    "update", "set", "delete", "create", "table", "index", "primary", "key",
+    "using", "with", "recursive", "as", "union", "all",
+}
+
+_PUNCT = {
+    "(": "lparen",
+    ")": "rparen",
+    ",": "comma",
+    ".": "dot",
+    "*": "star",
+    "+": "plus",
+    "-": "minus",
+    "/": "slash",
+    "?": "param",
+    ";": "semicolon",
+}
+
+
+class SqlLexError(Exception):
+    pass
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # keyword | ident | number | string | op | one of _PUNCT values | eof
+    value: Any
+    pos: int
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if ch == "'":
+            j = i + 1
+            parts: list[str] = []
+            while True:
+                if j >= n:
+                    raise SqlLexError(f"unterminated string at {i}")
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":  # escaped quote
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(text[j])
+                j += 1
+            tokens.append(Token("string", "".join(parts), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            is_float = False
+            while j < n and (text[j].isdigit() or text[j] == "."):
+                if text[j] == ".":
+                    if is_float:
+                        break
+                    is_float = True
+                j += 1
+            raw = text[i:j]
+            tokens.append(
+                Token("number", float(raw) if is_float else int(raw), i)
+            )
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            lower = word.lower()
+            if lower in KEYWORDS:
+                tokens.append(Token("keyword", lower, i))
+            else:
+                tokens.append(Token("ident", word, i))
+            i = j
+            continue
+        if text.startswith(("<=", ">=", "<>", "!="), i):
+            op = text[i : i + 2]
+            tokens.append(Token("op", "<>" if op == "!=" else op, i))
+            i += 2
+            continue
+        if ch in "=<>":
+            tokens.append(Token("op", ch, i))
+            i += 1
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(_PUNCT[ch], ch, i))
+            i += 1
+            continue
+        raise SqlLexError(f"unexpected character {ch!r} at {i}")
+    tokens.append(Token("eof", None, n))
+    return tokens

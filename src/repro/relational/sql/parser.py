@@ -1,0 +1,392 @@
+"""Recursive-descent parser producing :mod:`repro.relational.sql.ast` nodes."""
+
+from __future__ import annotations
+
+from repro.relational.sql import ast
+from repro.relational.sql.lexer import Token, tokenize
+
+
+class SqlParseError(Exception):
+    pass
+
+
+def parse(text: str) -> ast.Statement:
+    """Parse a single SQL statement."""
+    parser = _Parser(tokenize(text))
+    stmt = parser.statement()
+    parser.accept("semicolon")
+    parser.expect("eof")
+    return stmt
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._param_count = 0
+
+    # -- token plumbing -------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        self._pos += 1
+        return token
+
+    def check(self, kind: str, value: object = None) -> bool:
+        token = self.current
+        return token.kind == kind and (value is None or token.value == value)
+
+    def accept(self, kind: str, value: object = None) -> Token | None:
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: object = None) -> Token:
+        if not self.check(kind, value):
+            token = self.current
+            want = value if value is not None else kind
+            raise SqlParseError(
+                f"expected {want!r}, got {token.kind} {token.value!r} "
+                f"at position {token.pos}"
+            )
+        return self.advance()
+
+    def keyword(self, word: str) -> bool:
+        return self.accept("keyword", word) is not None
+
+    def expect_keyword(self, word: str) -> None:
+        self.expect("keyword", word)
+
+    def ident(self) -> str:
+        return str(self.expect("ident").value)
+
+    # -- statements -------------------------------------------------------------
+
+    def statement(self) -> ast.Statement:
+        if self.check("keyword", "select"):
+            return self.select()
+        if self.check("keyword", "with"):
+            return self.recursive_cte()
+        if self.keyword("insert"):
+            return self.insert()
+        if self.keyword("update"):
+            return self.update()
+        if self.keyword("delete"):
+            return self.delete()
+        if self.keyword("create"):
+            if self.keyword("table"):
+                return self.create_table()
+            if self.keyword("index"):
+                return self.create_index()
+            raise SqlParseError("expected TABLE or INDEX after CREATE")
+        token = self.current
+        raise SqlParseError(
+            f"cannot parse statement starting with {token.value!r}"
+        )
+
+    def select(self) -> ast.Select:
+        self.expect_keyword("select")
+        distinct = self.keyword("distinct")
+        items = [self.select_item()]
+        while self.accept("comma"):
+            items.append(self.select_item())
+
+        from_table = None
+        joins: list[ast.Join] = []
+        if self.keyword("from"):
+            from_table = self.table_ref()
+            while True:
+                if self.check("keyword", "join") or self.check(
+                    "keyword", "inner"
+                ):
+                    self.keyword("inner")
+                    self.expect_keyword("join")
+                    kind = "inner"
+                elif self.check("keyword", "left"):
+                    self.advance()
+                    self.keyword("outer")
+                    self.expect_keyword("join")
+                    kind = "left"
+                else:
+                    break
+                table = self.table_ref()
+                self.expect_keyword("on")
+                condition = self.expression()
+                joins.append(ast.Join(table, condition, kind))
+
+        where = self.expression() if self.keyword("where") else None
+
+        group_by: list[ast.Expr] = []
+        if self.keyword("group"):
+            self.expect_keyword("by")
+            group_by.append(self.expression())
+            while self.accept("comma"):
+                group_by.append(self.expression())
+
+        order_by: list[ast.OrderItem] = []
+        if self.keyword("order"):
+            self.expect_keyword("by")
+            order_by.append(self.order_item())
+            while self.accept("comma"):
+                order_by.append(self.order_item())
+
+        limit = None
+        if self.keyword("limit"):
+            limit = int(self.expect("number").value)
+
+        return ast.Select(
+            items=tuple(items),
+            from_table=from_table,
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(group_by),
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def recursive_cte(self) -> ast.RecursiveCTE:
+        self.expect_keyword("with")
+        self.expect_keyword("recursive")
+        name = self.ident()
+        self.expect("lparen")
+        columns = [self.ident()]
+        while self.accept("comma"):
+            columns.append(self.ident())
+        self.expect("rparen")
+        self.expect_keyword("as")
+        self.expect("lparen")
+        base = self.select()
+        self.expect_keyword("union")
+        distinct = not self.keyword("all")
+        step = self.select()
+        self.expect("rparen")
+        body = self.select()
+        return ast.RecursiveCTE(
+            name, tuple(columns), base, step, body, distinct
+        )
+
+    def insert(self) -> ast.Insert:
+        self.expect_keyword("into")
+        table = self.ident()
+        self.expect_keyword("values")
+        self.expect("lparen")
+        values = [self.expression()]
+        while self.accept("comma"):
+            values.append(self.expression())
+        self.expect("rparen")
+        return ast.Insert(table, tuple(values))
+
+    def update(self) -> ast.Update:
+        table = self.ident()
+        self.expect_keyword("set")
+        assignments = [self.assignment()]
+        while self.accept("comma"):
+            assignments.append(self.assignment())
+        where = self.expression() if self.keyword("where") else None
+        return ast.Update(table, tuple(assignments), where)
+
+    def assignment(self) -> tuple[str, ast.Expr]:
+        column = self.ident()
+        self.expect("op", "=")
+        return column, self.expression()
+
+    def delete(self) -> ast.Delete:
+        self.expect_keyword("from")
+        table = self.ident()
+        where = self.expression() if self.keyword("where") else None
+        return ast.Delete(table, where)
+
+    def create_table(self) -> ast.CreateTable:
+        name = self.ident()
+        self.expect("lparen")
+        columns = [self.column_def()]
+        while self.accept("comma"):
+            columns.append(self.column_def())
+        self.expect("rparen")
+        return ast.CreateTable(name, tuple(columns))
+
+    def column_def(self) -> ast.ColumnDef:
+        name = self.ident()
+        type_name = str(self.expect("ident").value).lower()
+        primary = False
+        if self.keyword("primary"):
+            self.expect_keyword("key")
+            primary = True
+        return ast.ColumnDef(name, type_name, primary)
+
+    def create_index(self) -> ast.CreateIndex:
+        index_name = None
+        if self.check("ident"):
+            index_name = self.ident()
+        self.expect_keyword("on")
+        table = self.ident()
+        self.expect("lparen")
+        column = self.ident()
+        self.expect("rparen")
+        method = "btree"
+        if self.keyword("using"):
+            method = self.ident().lower()
+            if method not in ("btree", "hash"):
+                raise SqlParseError(f"unknown index method {method!r}")
+        return ast.CreateIndex(table, column, index_name, method)
+
+    # -- select helpers ---------------------------------------------------------
+
+    def select_item(self) -> ast.SelectItem:
+        if self.check("star"):
+            self.advance()
+            return ast.SelectItem(ast.ColumnRef(None, "*"))
+        expr = self.expression()
+        alias = None
+        if self.keyword("as"):
+            alias = self.ident()
+        elif self.check("ident"):
+            alias = self.ident()
+        return ast.SelectItem(expr, alias)
+
+    def table_ref(self) -> ast.TableRef:
+        name = self.ident()
+        alias = None
+        if self.keyword("as"):
+            alias = self.ident()
+        elif self.check("ident"):
+            alias = self.ident()
+        return ast.TableRef(name, alias)
+
+    def order_item(self) -> ast.OrderItem:
+        expr = self.expression()
+        descending = False
+        if self.keyword("desc"):
+            descending = True
+        else:
+            self.keyword("asc")
+        return ast.OrderItem(expr, descending)
+
+    # -- expressions (precedence climbing) ------------------------------------------
+
+    def expression(self) -> ast.Expr:
+        return self.or_expr()
+
+    def or_expr(self) -> ast.Expr:
+        left = self.and_expr()
+        while self.keyword("or"):
+            left = ast.BinaryOp("OR", left, self.and_expr())
+        return left
+
+    def and_expr(self) -> ast.Expr:
+        left = self.not_expr()
+        while self.keyword("and"):
+            left = ast.BinaryOp("AND", left, self.not_expr())
+        return left
+
+    def not_expr(self) -> ast.Expr:
+        if self.keyword("not"):
+            return ast.UnaryOp("NOT", self.not_expr())
+        return self.comparison()
+
+    def comparison(self) -> ast.Expr:
+        left = self.additive()
+        if self.check("op"):
+            op = str(self.advance().value)
+            return ast.BinaryOp(op, left, self.additive())
+        if self.check("keyword", "is"):
+            self.advance()
+            negated = self.keyword("not")
+            self.expect_keyword("null")
+            return ast.IsNull(left, negated)
+        negated = False
+        if self.check("keyword", "not"):
+            # NOT IN
+            self.advance()
+            negated = True
+            self.expect_keyword("in")
+            return self.in_list(left, negated)
+        if self.keyword("in"):
+            return self.in_list(left, negated)
+        return left
+
+    def in_list(self, needle: ast.Expr, negated: bool) -> ast.InList:
+        self.expect("lparen")
+        items = [self.expression()]
+        while self.accept("comma"):
+            items.append(self.expression())
+        self.expect("rparen")
+        return ast.InList(needle, tuple(items), negated)
+
+    def additive(self) -> ast.Expr:
+        left = self.multiplicative()
+        while True:
+            if self.accept("plus"):
+                left = ast.BinaryOp("+", left, self.multiplicative())
+            elif self.accept("minus"):
+                left = ast.BinaryOp("-", left, self.multiplicative())
+            else:
+                return left
+
+    def multiplicative(self) -> ast.Expr:
+        left = self.unary()
+        while True:
+            if self.accept("star"):
+                left = ast.BinaryOp("*", left, self.unary())
+            elif self.accept("slash"):
+                left = ast.BinaryOp("/", left, self.unary())
+            else:
+                return left
+
+    def unary(self) -> ast.Expr:
+        if self.accept("minus"):
+            return ast.UnaryOp("-", self.unary())
+        return self.primary()
+
+    def primary(self) -> ast.Expr:
+        if self.accept("lparen"):
+            expr = self.expression()
+            self.expect("rparen")
+            return expr
+        if self.check("number"):
+            return ast.Literal(self.advance().value)
+        if self.check("string"):
+            return ast.Literal(self.advance().value)
+        if self.check("param"):
+            self.advance()
+            param = ast.Param(self._param_count)
+            self._param_count += 1
+            return param
+        if self.keyword("null"):
+            return ast.Literal(None)
+        if self.keyword("true"):
+            return ast.Literal(True)
+        if self.keyword("false"):
+            return ast.Literal(False)
+        if self.check("ident"):
+            name = self.ident()
+            if self.accept("lparen"):
+                return self.func_call(name)
+            if self.accept("dot"):
+                if self.accept("star"):
+                    return ast.ColumnRef(name, "*")
+                return ast.ColumnRef(name, self.ident())
+            return ast.ColumnRef(None, name)
+        token = self.current
+        raise SqlParseError(
+            f"unexpected token {token.value!r} at position {token.pos}"
+        )
+
+    def func_call(self, name: str) -> ast.FuncCall:
+        lname = name.lower()
+        if self.accept("star"):
+            self.expect("rparen")
+            return ast.FuncCall(lname, (), star=True)
+        if self.accept("rparen"):
+            return ast.FuncCall(lname, ())
+        distinct = self.keyword("distinct")
+        args = [self.expression()]
+        while self.accept("comma"):
+            args.append(self.expression())
+        self.expect("rparen")
+        return ast.FuncCall(lname, tuple(args), distinct=distinct)

@@ -1,0 +1,288 @@
+"""Tables: schema + storage engine + secondary indexes.
+
+A :class:`Table` hides the storage layout behind a handle-based API:
+
+* ``row``    — rows serialized by :class:`RowCodec` into a :class:`HeapFile`;
+  handles are RIDs and may move when an update grows the record.
+* ``column`` — rows live in a :class:`ColumnTable`; handles are stable
+  positions, but every touched column charges columnar update costs.
+
+Indexes map column values to handles.  The primary key always gets a unique
+hash index (the paper indexes vertex IDs in every system); ``CREATE INDEX``
+adds B+tree or hash secondaries.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterator, Mapping, Sequence
+from typing import Any
+
+from repro.simclock.ledger import charge
+from repro.storage.btree import BPlusTree
+from repro.storage.buffer import BufferPool
+from repro.storage.codec import ColumnType, RowCodec
+from repro.storage.column import ColumnTable
+from repro.storage.hashindex import HashIndex
+from repro.storage.heap import HeapFile
+from repro.storage.wal import WriteAheadLog
+
+_TYPE_ALIASES = {
+    "int": ColumnType.INT,
+    "integer": ColumnType.INT,
+    "bigint": ColumnType.INT,
+    "timestamp": ColumnType.INT,
+    "float": ColumnType.FLOAT,
+    "double": ColumnType.FLOAT,
+    "real": ColumnType.FLOAT,
+    "text": ColumnType.TEXT,
+    "varchar": ColumnType.TEXT,
+    "string": ColumnType.TEXT,
+    "bool": ColumnType.BOOL,
+    "boolean": ColumnType.BOOL,
+}
+
+
+def column_type_from_sql(type_name: str) -> ColumnType:
+    try:
+        return _TYPE_ALIASES[type_name.lower()]
+    except KeyError:
+        raise ValueError(f"unsupported SQL type: {type_name!r}") from None
+
+
+class Table:
+    """One relation with either row or columnar storage."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[tuple[str, ColumnType]],
+        *,
+        primary_key: str | None = None,
+        storage: str = "row",
+        pool: BufferPool | None = None,
+        wal: WriteAheadLog | None = None,
+    ) -> None:
+        if storage not in ("row", "column"):
+            raise ValueError(f"unknown storage engine: {storage!r}")
+        if storage == "row" and pool is None:
+            raise ValueError("row storage requires a buffer pool")
+        self.name = name
+        self.columns = list(columns)
+        self.column_names = [c for c, _ in columns]
+        self._col_pos = {c: i for i, c in enumerate(self.column_names)}
+        self.primary_key = primary_key
+        self.storage = storage
+        self.wal = wal
+        self._indexes: dict[str, BPlusTree | HashIndex] = {}
+
+        if storage == "row":
+            self._codec = RowCodec([t for _, t in columns])
+            self._heap = HeapFile(pool, name)  # type: ignore[arg-type]
+        else:
+            self._cols = ColumnTable(name, columns)
+
+        if primary_key is not None:
+            if primary_key not in self._col_pos:
+                raise ValueError(
+                    f"primary key {primary_key!r} is not a column of {name!r}"
+                )
+            self._indexes[primary_key] = HashIndex(
+                unique=True, name=f"{name}_pk"
+            )
+
+    # -- metadata ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        if self.storage == "row":
+            return self._heap.record_count
+        return len(self._cols)
+
+    def column_position(self, column: str) -> int:
+        try:
+            return self._col_pos[column]
+        except KeyError:
+            raise KeyError(
+                f"no column {column!r} in table {self.name!r}"
+            ) from None
+
+    def has_index(self, column: str) -> bool:
+        return column in self._indexes
+
+    def index_supports_range(self, column: str) -> bool:
+        return isinstance(self._indexes.get(column), BPlusTree)
+
+    def create_index(self, column: str, method: str = "btree") -> None:
+        """Build a secondary index over existing rows."""
+        if column in self._indexes:
+            return
+        pos = self.column_position(column)
+        index: BPlusTree | HashIndex
+        if method == "btree":
+            index = BPlusTree(name=f"{self.name}_{column}")
+        elif method == "hash":
+            index = HashIndex(name=f"{self.name}_{column}")
+        else:
+            raise ValueError(f"unknown index method: {method!r}")
+        for handle, row in self.scan():
+            if row[pos] is not None:
+                index.insert(row[pos], handle)
+        self._indexes[column] = index
+
+    # -- write path --------------------------------------------------------------
+
+    def insert(self, values: Sequence[Any]) -> Any:
+        """Insert a row; returns its handle."""
+        row = tuple(values)
+        if len(row) != len(self.column_names):
+            raise ValueError(
+                f"row has {len(row)} values, table {self.name!r} has "
+                f"{len(self.column_names)} columns"
+            )
+        if self.primary_key is not None:
+            pk_value = row[self._col_pos[self.primary_key]]
+            if pk_value is None:
+                raise ValueError(f"primary key of {self.name!r} cannot be NULL")
+        if self.storage == "row":
+            handle = self._heap.insert(self._codec.encode(row))
+        else:
+            handle = self._cols.append(row)
+        for column, index in self._indexes.items():
+            value = row[self._col_pos[column]]
+            if value is not None:
+                index.insert(value, handle)
+        if self.wal is not None:
+            self.wal.append(_wal_record("insert", self.name, list(row)))
+        return handle
+
+    def update(self, handle: Any, changes: Mapping[str, Any]) -> Any:
+        """Apply ``changes``; returns the (possibly moved) handle."""
+        old_row = self.fetch(handle)
+        new_row = list(old_row)
+        for column, value in changes.items():
+            new_row[self.column_position(column)] = value
+        if self.storage == "row":
+            new_handle = self._heap.update(
+                handle, self._codec.encode(tuple(new_row))
+            )
+        else:
+            self._cols.update(handle, dict(changes))
+            new_handle = handle
+        for column, index in self._indexes.items():
+            pos = self._col_pos[column]
+            changed = old_row[pos] != new_row[pos]
+            moved = new_handle != handle
+            if changed or moved:
+                if old_row[pos] is not None:
+                    index.delete(old_row[pos], handle)
+                if new_row[pos] is not None:
+                    index.insert(new_row[pos], new_handle)
+        if self.wal is not None:
+            self.wal.append(
+                _wal_record(
+                    "update", self.name, [list(old_row), new_row]
+                )
+            )
+        return new_handle
+
+    def delete(self, handle: Any) -> None:
+        row = self.fetch(handle)
+        if self.storage == "row":
+            self._heap.delete(handle)
+        else:
+            self._cols.delete(handle)
+        for column, index in self._indexes.items():
+            value = row[self._col_pos[column]]
+            if value is not None:
+                index.delete(value, handle)
+        if self.wal is not None:
+            self.wal.append(_wal_record("delete", self.name, list(row)))
+
+    # -- read path ---------------------------------------------------------------
+
+    def fetch(self, handle: Any) -> tuple:
+        if self.storage == "row":
+            return self._codec.decode(self._heap.fetch(handle))
+        return self._cols.read_row(handle)
+
+    def fetch_batch(
+        self, handles: Sequence[Any], needed: Sequence[str] | None = None
+    ) -> list[tuple]:
+        """Fetch many rows at once, full schema width.
+
+        Row storage decodes each record (no batching possible on a heap);
+        columnar storage uses the vectorized batch path and fills columns
+        outside ``needed`` with NULL — the planner passes exactly the
+        columns the query references.
+        """
+        if self.storage == "row" or not handles:
+            return [self.fetch(h) for h in handles]
+        charge("vector_setup")
+        names = list(needed) if needed is not None else self.column_names
+        narrow = self._cols.read_batch(list(handles), names)
+        if names == self.column_names:
+            return narrow
+        width = len(self.column_names)
+        positions = [self._col_pos[n] for n in names]
+        rows = []
+        for values in narrow:
+            row: list[Any] = [None] * width
+            for pos, value in zip(positions, values):
+                row[pos] = value
+            rows.append(tuple(row))
+        return rows
+
+    def fetch_values(self, handle: Any, columns: Sequence[str]) -> tuple:
+        """Projection fetch.
+
+        Row storage must decode the whole record; columnar storage touches
+        only the requested columns — the layout difference the paper's
+        traversal-heavy queries expose.
+        """
+        if self.storage == "row":
+            row = self.fetch(handle)
+            return tuple(row[self.column_position(c)] for c in columns)
+        return self._cols.read_values(handle, list(columns))
+
+    def scan(self) -> Iterator[tuple[Any, tuple]]:
+        if self.storage == "row":
+            for rid, record in self._heap.scan():
+                yield rid, self._codec.decode(record)
+        else:
+            yield from self._cols.scan()
+
+    def lookup(self, column: str, value: Any) -> list[Any]:
+        """Handles of rows where ``column == value`` via the index."""
+        index = self._indexes.get(column)
+        if index is None:
+            raise KeyError(f"no index on {self.name}.{column}")
+        return index.search(value)
+
+    def range_lookup(
+        self, column: str, lo: Any, hi: Any, *, hi_inclusive: bool = True
+    ) -> Iterator[Any]:
+        index = self._indexes.get(column)
+        if not isinstance(index, BPlusTree):
+            raise KeyError(f"no range index on {self.name}.{column}")
+        for _key, handle in index.range_scan(lo, hi, hi_inclusive=hi_inclusive):
+            yield handle
+
+    # -- stats --------------------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        if self.storage == "row":
+            base = self._heap.size_bytes()
+        else:
+            base = self._cols.size_bytes()
+        # rough index footprint: 16 bytes/entry
+        index_bytes = sum(16 * len(i) for i in self._indexes.values())
+        return base + index_bytes
+
+    def charge_row(self) -> None:
+        """Executor hook: per-row cost at the storage boundary."""
+        charge("tuple_cpu")
+
+
+def _wal_record(op: str, table: str, payload: list) -> bytes:
+    """A logical WAL record: JSON ``[op, table, payload]``."""
+    return json.dumps([op, table, payload]).encode("utf-8")

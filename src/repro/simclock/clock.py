@@ -1,0 +1,40 @@
+"""A trivially simple monotonic virtual clock measured in microseconds."""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Monotonic virtual clock.
+
+    The clock only ever moves forward.  Sequential harnesses (the latency
+    tables) advance it by the simulated cost of each operation; concurrent
+    harnesses delegate to the discrete-event :class:`~repro.simclock.events.
+    Simulator`, which owns its own clock.
+    """
+
+    def __init__(self, start_us: float = 0.0) -> None:
+        self._now_us = float(start_us)
+
+    @property
+    def now_us(self) -> float:
+        """Current virtual time in microseconds."""
+        return self._now_us
+
+    @property
+    def now_ms(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now_us / 1000.0
+
+    def advance(self, delta_us: float) -> float:
+        """Move the clock forward by ``delta_us`` microseconds."""
+        if delta_us < 0:
+            raise ValueError(f"cannot move clock backwards (delta={delta_us})")
+        self._now_us += delta_us
+        return self._now_us
+
+    def reset(self, start_us: float = 0.0) -> None:
+        """Reset the clock; only meaningful between experiments."""
+        self._now_us = float(start_us)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now_us={self._now_us:.3f})"

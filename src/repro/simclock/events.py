@@ -1,0 +1,241 @@
+"""A small generator-based discrete-event simulator.
+
+Processes are Python generators that yield *commands*:
+
+* :class:`Timeout` — advance this process by a simulated duration,
+* :class:`Acquire` / :class:`Release` — FIFO resource acquisition,
+* :class:`Join` — wait for another process to finish.
+
+Example
+-------
+::
+
+    sim = Simulator()
+    pool = Resource(capacity=2, name="workers")
+
+    def client(i):
+        yield Acquire(pool)
+        yield Timeout(1000.0)          # hold a worker for 1 ms
+        yield Release(pool)
+        return i
+
+    procs = [sim.spawn(client(i), name=f"c{i}") for i in range(8)]
+    sim.run()
+    assert all(p.finished for p in procs)
+
+The simulator is deterministic: simultaneous events fire in scheduling
+order (a monotonically increasing sequence number breaks ties).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from collections.abc import Callable, Generator
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Timeout:
+    """Suspend the yielding process for ``delay_us`` simulated microseconds."""
+
+    delay_us: float
+
+    def __post_init__(self) -> None:
+        if self.delay_us < 0:
+            raise ValueError(f"negative timeout: {self.delay_us}")
+
+
+@dataclass(frozen=True)
+class Acquire:
+    """Acquire one unit of ``resource`` (FIFO; suspends when exhausted)."""
+
+    resource: "Resource"
+
+
+@dataclass(frozen=True)
+class Release:
+    """Release one unit of ``resource`` previously acquired."""
+
+    resource: "Resource"
+
+
+@dataclass(frozen=True)
+class Join:
+    """Suspend until ``process`` finishes; resumes with its return value."""
+
+    process: "Process"
+
+
+@dataclass
+class Resource:
+    """A counted FIFO resource (worker pool, latch, lock, ...).
+
+    Tracks aggregate waiting time so experiments can report contention.
+    """
+
+    capacity: int = 1
+    name: str = ""
+    in_use: int = 0
+    total_wait_us: float = 0.0
+    total_acquisitions: int = 0
+    _waiters: deque = field(default_factory=deque, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError(f"resource capacity must be >= 1: {self.capacity}")
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._waiters)
+
+    @property
+    def mean_wait_us(self) -> float:
+        if not self.total_acquisitions:
+            return 0.0
+        return self.total_wait_us / self.total_acquisitions
+
+
+class Process:
+    """A running generator inside the simulator."""
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str) -> None:
+        self._sim = sim
+        self._gen = gen
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self.error: BaseException | None = None
+        self._joiners: list[Process] = []
+        self._wait_started_us: float | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "running"
+        return f"Process({self.name!r}, {state})"
+
+
+class Simulator:
+    """Deterministic discrete-event loop over a virtual microsecond clock."""
+
+    def __init__(self) -> None:
+        self.now_us = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._live_processes = 0
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, delay_us: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` after ``delay_us`` simulated microseconds."""
+        if delay_us < 0:
+            raise ValueError(f"negative delay: {delay_us}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now_us + delay_us, self._seq, fn))
+
+    def spawn(self, gen: Generator, name: str = "proc") -> Process:
+        """Register a generator as a new process; it starts at current time."""
+        process = Process(self, gen, name)
+        self._live_processes += 1
+        self.schedule(0.0, lambda: self._step(process, None))
+        return process
+
+    def run(self, until_us: float | None = None) -> float:
+        """Run until the event heap drains or the clock passes ``until_us``.
+
+        Returns the final simulated time.
+        """
+        while self._heap:
+            time_us, _seq, fn = self._heap[0]
+            if until_us is not None and time_us > until_us:
+                self.now_us = until_us
+                return self.now_us
+            heapq.heappop(self._heap)
+            self.now_us = time_us
+            fn()
+        return self.now_us
+
+    @property
+    def live_processes(self) -> int:
+        return self._live_processes
+
+    # -- process stepping -----------------------------------------------------
+
+    def _step(self, process: Process, value: Any) -> None:
+        if process.finished:
+            return
+        try:
+            command = process._gen.send(value)
+        except StopIteration as stop:
+            self._finish(process, result=stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - surfaced via .error
+            process.error = exc
+            self._finish(process, result=None)
+            return
+        self._dispatch(process, command)
+
+    def _finish(self, process: Process, result: Any) -> None:
+        process.finished = True
+        process.result = result
+        self._live_processes -= 1
+        for joiner in process._joiners:
+            self.schedule(0.0, lambda j=joiner: self._step(j, process.result))
+        process._joiners.clear()
+        if process.error is not None:
+            raise RuntimeError(
+                f"process {process.name!r} died: {process.error!r}"
+            ) from process.error
+
+    def _dispatch(self, process: Process, command: Any) -> None:
+        if isinstance(command, Timeout):
+            self.schedule(command.delay_us, lambda: self._step(process, None))
+        elif isinstance(command, Acquire):
+            self._acquire(process, command.resource)
+        elif isinstance(command, Release):
+            self._release(process, command.resource)
+        elif isinstance(command, Join):
+            target = command.process
+            if target.finished:
+                self.schedule(0.0, lambda: self._step(process, target.result))
+            else:
+                target._joiners.append(process)
+        else:
+            raise TypeError(
+                f"process {process.name!r} yielded unsupported command: "
+                f"{command!r}"
+            )
+
+    # -- resources -------------------------------------------------------------
+
+    def _acquire(self, process: Process, resource: Resource) -> None:
+        if resource.in_use < resource.capacity:
+            resource.in_use += 1
+            resource.total_acquisitions += 1
+            self.schedule(0.0, lambda: self._step(process, None))
+        else:
+            process._wait_started_us = self.now_us
+            resource._waiters.append(process)
+
+    def _release(self, process: Process, resource: Resource) -> None:
+        if resource.in_use <= 0:
+            raise RuntimeError(
+                f"release of idle resource {resource.name!r} "
+                f"by {process.name!r}"
+            )
+        resource.in_use -= 1
+        while resource._waiters and resource.in_use < resource.capacity:
+            waiter = resource._waiters.popleft()
+            if waiter.finished:
+                continue
+            resource.in_use += 1
+            resource.total_acquisitions += 1
+            if waiter._wait_started_us is not None:
+                resource.total_wait_us += self.now_us - waiter._wait_started_us
+                waiter._wait_started_us = None
+            self.schedule(0.0, lambda w=waiter: self._step(w, None))
+        self.schedule(0.0, lambda: self._step(process, None))

@@ -1,0 +1,38 @@
+"""LDBC Social Network Benchmark datagen analogue.
+
+Generates a synthetic social network with the SNB schema (persons, forums,
+posts, comments, tags, places, organisations and their edges), power-law
+degree distributions, correlated friendships, and a time-ordered update
+stream with dependency timestamps — the two artifacts the real LDBC datagen
+produces (an initial snapshot plus update streams).
+"""
+
+from repro.snb.datagen import GeneratorConfig, SnbDataset, generate
+from repro.snb.schema import (
+    Comment,
+    Forum,
+    Organisation,
+    Person,
+    Place,
+    Post,
+    Tag,
+    TagClass,
+    UpdateEvent,
+    UpdateKind,
+)
+
+__all__ = [
+    "GeneratorConfig",
+    "SnbDataset",
+    "generate",
+    "Person",
+    "Forum",
+    "Post",
+    "Comment",
+    "Tag",
+    "TagClass",
+    "Place",
+    "Organisation",
+    "UpdateEvent",
+    "UpdateKind",
+]

@@ -1,0 +1,681 @@
+"""The synthetic social-network generator.
+
+Mirrors the LDBC SNB datagen's two outputs:
+
+* an **initial snapshot** — everything created before the cutoff date,
+  bulk-loaded into each system under test;
+* an **update stream** — creation events after the cutoff, each carrying a
+  *dependency timestamp* (the latest creation time among referenced
+  entities) for dependency-tracked scheduling.
+
+Scaling: the paper's SF3 graph has ~10M vertices / 64M edges and SF10 has
+~34M / 217M.  ``GeneratorConfig.scale_divisor`` (default 1000) shrinks
+those to laptop size while preserving per-person rates, degree
+distributions, and the SF10/SF3 ratio; every benchmark output reports the
+divisor used.
+
+Realism knobs borrowed from LDBC: power-law friend/post/comment degrees,
+friendship correlation by city and shared interest, Zipf tag popularity,
+reply trees on posts, and activity windows anchored to entity creation
+dates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.snb import dictionaries as dicts
+from repro.snb.distributions import (
+    date_between,
+    date_skewed_early,
+    power_law_int,
+    zipf_choice,
+)
+from repro.snb.schema import (
+    Comment,
+    Forum,
+    ForumMembership,
+    Knows,
+    Like,
+    Organisation,
+    Person,
+    Place,
+    Post,
+    Tag,
+    TagClass,
+    UpdateEvent,
+    UpdateKind,
+    FORUM_ID_BASE,
+    MESSAGE_ID_BASE,
+    ORGANISATION_ID_BASE,
+    PERSON_ID_BASE,
+    PLACE_ID_BASE,
+    TAG_ID_BASE,
+    TAGCLASS_ID_BASE,
+)
+
+SIM_START_MS = 1262304000000  # 2010-01-01
+SIM_END_MS = 1356998400000  # 2013-01-01
+_DAY_MS = 86_400_000
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Datagen parameters.
+
+    ``scale_factor`` follows the paper (3 and 10); ``scale_divisor``
+    shrinks the paper-scale graph (divisor 1000 -> SF3 is ~10k vertices /
+    ~65k edges).
+    """
+
+    scale_factor: float = 3.0
+    scale_divisor: float = 1000.0
+    seed: int = 42
+    update_fraction: float = 0.1
+
+    @property
+    def person_count(self) -> int:
+        scaled = 250.0 * (self.scale_factor / 3.0) * (1000.0 / self.scale_divisor)
+        return max(30, round(scaled))
+
+
+@dataclass
+class SnbDataset:
+    """The generated network: static snapshot + update stream."""
+
+    config: GeneratorConfig
+    cutoff_ms: int
+    # static world
+    places: list[Place] = field(default_factory=list)
+    tag_classes: list[TagClass] = field(default_factory=list)
+    tags: list[Tag] = field(default_factory=list)
+    organisations: list[Organisation] = field(default_factory=list)
+    # dynamic entities in the initial snapshot
+    persons: list[Person] = field(default_factory=list)
+    knows: list[Knows] = field(default_factory=list)
+    forums: list[Forum] = field(default_factory=list)
+    memberships: list[ForumMembership] = field(default_factory=list)
+    posts: list[Post] = field(default_factory=list)
+    comments: list[Comment] = field(default_factory=list)
+    likes: list[Like] = field(default_factory=list)
+    # events after the cutoff
+    updates: list[UpdateEvent] = field(default_factory=list)
+
+    # -- statistics (Table 1) ---------------------------------------------------
+
+    def vertex_count(self) -> int:
+        return (
+            len(self.places)
+            + len(self.tag_classes)
+            + len(self.tags)
+            + len(self.organisations)
+            + len(self.persons)
+            + len(self.forums)
+            + len(self.posts)
+            + len(self.comments)
+        )
+
+    def edge_count(self) -> int:
+        person_located = len(self.persons)
+        message_located = len(self.posts) + len(self.comments)
+        study_work = sum(
+            (p.university is not None) + (p.company is not None)
+            for p in self.persons
+        )
+        interests = sum(len(p.interests) for p in self.persons)
+        message_tags = sum(len(m.tags) for m in self.posts) + sum(
+            len(m.tags) for m in self.comments
+        )
+        forum_tags = sum(len(f.tags) for f in self.forums)
+        place_hierarchy = sum(1 for p in self.places if p.part_of is not None)
+        tagclass_edges = sum(
+            1 for tc in self.tag_classes if tc.subclass_of is not None
+        ) + len(self.tags)
+        return (
+            len(self.knows)
+            + len(self.memberships)
+            + len(self.forums)  # hasModerator
+            + len(self.posts)  # containerOf
+            + len(self.posts)
+            + len(self.comments)  # hasCreator
+            + len(self.comments)  # replyOf
+            + len(self.likes)
+            + person_located
+            + message_located
+            + study_work
+            + interests
+            + message_tags
+            + forum_tags
+            + place_hierarchy
+            + tagclass_edges
+        )
+
+    def message_ids(self) -> list[int]:
+        return [p.id for p in self.posts] + [c.id for c in self.comments]
+
+
+def generate(config: GeneratorConfig | None = None) -> SnbDataset:
+    """Run the full generation pipeline (deterministic for a given config)."""
+    config = config or GeneratorConfig()
+    return _Generator(config).run()
+
+
+class _Generator:
+    def __init__(self, config: GeneratorConfig) -> None:
+        self.config = config
+        self.rng = random.Random(config.seed)
+        cutoff_window = SIM_END_MS - SIM_START_MS
+        self.cutoff_ms = SIM_END_MS - int(
+            cutoff_window * config.update_fraction
+        )
+        self.dataset = SnbDataset(config=config, cutoff_ms=self.cutoff_ms)
+        self._message_id = MESSAGE_ID_BASE
+        # everything generated, pre-split (creation date decides the side)
+        self._all_persons: list[Person] = []
+        self._all_knows: list[Knows] = []
+        self._all_forums: list[Forum] = []
+        self._all_memberships: list[ForumMembership] = []
+        self._all_posts: list[Post] = []
+        self._all_comments: list[Comment] = []
+        self._all_likes: list[Like] = []
+        self._creation: dict[int, int] = {}  # entity id -> creation ms
+
+    def run(self) -> SnbDataset:
+        self._gen_places()
+        self._gen_tags()
+        self._gen_organisations()
+        self._gen_persons()
+        self._gen_knows()
+        self._gen_forums_and_memberships()
+        self._gen_messages()
+        self._gen_likes()
+        self._split()
+        return self.dataset
+
+    # -- static world ----------------------------------------------------------
+
+    def _gen_places(self) -> None:
+        places = self.dataset.places
+        next_id = PLACE_ID_BASE
+        continent_ids: dict[str, int] = {}
+        self.city_ids: list[int] = []
+        self.country_of_city: dict[int, int] = {}
+        self.country_ids: list[int] = []
+        for continent, country, cities in dicts.PLACES:
+            if continent not in continent_ids:
+                places.append(Place(next_id, continent, "continent", None))
+                continent_ids[continent] = next_id
+                next_id += 1
+            country_id = next_id
+            places.append(
+                Place(country_id, country, "country", continent_ids[continent])
+            )
+            self.country_ids.append(country_id)
+            next_id += 1
+            for city in cities:
+                places.append(Place(next_id, city, "city", country_id))
+                self.city_ids.append(next_id)
+                self.country_of_city[next_id] = country_id
+                next_id += 1
+
+    def _gen_tags(self) -> None:
+        class_ids: dict[str, int] = {}
+        next_id = TAGCLASS_ID_BASE
+        for name, parent in dicts.TAG_CLASSES:
+            self.dataset.tag_classes.append(
+                TagClass(next_id, name, class_ids.get(parent))
+            )
+            class_ids[name] = next_id
+            next_id += 1
+        next_tag = TAG_ID_BASE
+        for name, class_name in dicts.TAGS:
+            self.dataset.tags.append(Tag(next_tag, name, class_ids[class_name]))
+            next_tag += 1
+        self.tag_ids = [t.id for t in self.dataset.tags]
+
+    def _gen_organisations(self) -> None:
+        next_id = ORGANISATION_ID_BASE
+        self.universities_by_city: dict[int, int] = {}
+        self.company_ids: list[int] = []
+        city_names = {p.id: p.name for p in self.dataset.places}
+        for city_id in self.city_ids:
+            name = f"University_of_{city_names[city_id]}"
+            self.dataset.organisations.append(
+                Organisation(next_id, name, "university", city_id)
+            )
+            self.universities_by_city[city_id] = next_id
+            next_id += 1
+        for country_id in self.country_ids:
+            for suffix in dicts.COMPANY_SUFFIXES[:3]:
+                name = f"{city_names[country_id]}_{suffix}"
+                self.dataset.organisations.append(
+                    Organisation(next_id, name, "company", country_id)
+                )
+                self.company_ids.append(next_id)
+                next_id += 1
+
+    # -- persons -----------------------------------------------------------------
+
+    def _gen_persons(self) -> None:
+        rng = self.rng
+        n = self.config.person_count
+        for i in range(n):
+            person_id = PERSON_ID_BASE + i
+            city = self.city_ids[zipf_choice(rng, len(self.city_ids), 0.9)]
+            creation = date_skewed_early(
+                rng, SIM_START_MS, SIM_END_MS - 30 * _DAY_MS, bias=2.0
+            )
+            interests = sorted(
+                {
+                    self.tag_ids[zipf_choice(rng, len(self.tag_ids))]
+                    for _ in range(power_law_int(rng, 2, 24, alpha=1.8))
+                }
+            )
+            person = Person(
+                id=person_id,
+                first_name=rng.choice(dicts.FIRST_NAMES),
+                last_name=rng.choice(dicts.LAST_NAMES),
+                gender=rng.choice(dicts.GENDERS),
+                birthday=date_between(
+                    rng, SIM_START_MS - 50 * 365 * _DAY_MS,
+                    SIM_START_MS - 18 * 365 * _DAY_MS,
+                ),
+                creation_date=creation,
+                location_ip=self._random_ip(),
+                browser_used=rng.choice(dicts.BROWSERS),
+                city=city,
+                speaks=sorted(
+                    set(rng.sample(dicts.LANGUAGES, rng.randint(1, 3)))
+                ),
+                emails=[f"person{i}@example.org"],
+                interests=interests,
+            )
+            if rng.random() < 0.75:
+                person.university = self.universities_by_city[city]
+                person.class_year = rng.randint(1995, 2012)
+            if rng.random() < 0.6:
+                person.company = rng.choice(self.company_ids)
+                person.work_from = rng.randint(2000, 2012)
+            self._all_persons.append(person)
+            self._creation[person_id] = creation
+        self.persons_by_city: dict[int, list[Person]] = {}
+        self.persons_by_interest: dict[int, list[Person]] = {}
+        for person in self._all_persons:
+            self.persons_by_city.setdefault(person.city, []).append(person)
+            for tag in person.interests[:3]:
+                self.persons_by_interest.setdefault(tag, []).append(person)
+
+    def _random_ip(self) -> str:
+        rng = self.rng
+        return ".".join(str(rng.randint(1, 254)) for _ in range(4))
+
+    # -- friendships ---------------------------------------------------------------
+
+    def _gen_knows(self) -> None:
+        """Correlated power-law friendships.
+
+        60% of candidate picks come from the same city, 25% from a shared
+        interest, 15% uniformly — mirroring LDBC's correlation dimensions.
+        """
+        rng = self.rng
+        persons = self._all_persons
+        max_degree = max(8, len(persons) // 3)
+        targets = {
+            p.id: power_law_int(rng, 3, max_degree, alpha=1.6)
+            for p in persons
+        }
+        adjacency: dict[int, set[int]] = {p.id: set() for p in persons}
+
+        def candidate_for(person: Person) -> Person:
+            roll = rng.random()
+            if roll < 0.60:
+                pool = self.persons_by_city.get(person.city, persons)
+            elif roll < 0.85 and person.interests:
+                tag = rng.choice(person.interests[:3])
+                pool = self.persons_by_interest.get(tag, persons)
+            else:
+                pool = persons
+            return pool[rng.randrange(len(pool))]
+
+        for person in persons:
+            attempts = 0
+            while (
+                len(adjacency[person.id]) < targets[person.id]
+                and attempts < targets[person.id] * 6
+            ):
+                attempts += 1
+                other = candidate_for(person)
+                if other.id == person.id or other.id in adjacency[person.id]:
+                    continue
+                if len(adjacency[other.id]) >= targets[other.id] * 2:
+                    continue
+                adjacency[person.id].add(other.id)
+                adjacency[other.id].add(person.id)
+                creation = date_skewed_early(
+                    rng,
+                    max(person.creation_date, other.creation_date),
+                    SIM_END_MS,
+                    bias=1.8,
+                )
+                first, second = sorted((person.id, other.id))
+                self._all_knows.append(Knows(first, second, creation))
+        self.adjacency = adjacency
+
+    # -- forums ----------------------------------------------------------------------
+
+    def _gen_forums_and_memberships(self) -> None:
+        rng = self.rng
+        next_forum = FORUM_ID_BASE
+        persons_by_id = {p.id: p for p in self._all_persons}
+        self.forum_members: dict[int, list[int]] = {}
+
+        # every person gets a wall; members are their friends
+        for person in self._all_persons:
+            forum = Forum(
+                id=next_forum,
+                title=f"Wall of {person.first_name} {person.last_name}",
+                creation_date=person.creation_date,
+                moderator=person.id,
+                tags=person.interests[:3],
+            )
+            next_forum += 1
+            self._all_forums.append(forum)
+            self._creation[forum.id] = forum.creation_date
+            members = [person.id]
+            for friend_id in sorted(self.adjacency[person.id]):
+                friend = persons_by_id[friend_id]
+                join = date_skewed_early(
+                    rng,
+                    max(forum.creation_date, friend.creation_date),
+                    SIM_END_MS,
+                    bias=1.8,
+                )
+                self._all_memberships.append(
+                    ForumMembership(forum.id, friend_id, join)
+                )
+                members.append(friend_id)
+            self._all_memberships.append(
+                ForumMembership(forum.id, person.id, forum.creation_date)
+            )
+            self.forum_members[forum.id] = members
+
+        # interest groups, moderators Zipf-skewed towards active users
+        group_count = max(4, int(len(self._all_persons) * 0.4))
+        for g in range(group_count):
+            moderator = self._all_persons[
+                zipf_choice(rng, len(self._all_persons), 0.8)
+            ]
+            tag = self.tag_ids[zipf_choice(rng, len(self.tag_ids))]
+            tag_name = next(
+                t.name for t in self.dataset.tags if t.id == tag
+            )
+            creation = date_skewed_early(
+                rng, moderator.creation_date, SIM_END_MS - 10 * _DAY_MS,
+                bias=2.0,
+            )
+            forum = Forum(
+                id=next_forum,
+                title=f"Group for {tag_name} #{g}",
+                creation_date=creation,
+                moderator=moderator.id,
+                tags=[tag],
+            )
+            next_forum += 1
+            self._all_forums.append(forum)
+            self._creation[forum.id] = creation
+            size = power_law_int(
+                rng, 4, max(8, len(self._all_persons) // 3), alpha=1.6
+            )
+            members = {moderator.id}
+            pool = self.persons_by_interest.get(tag, self._all_persons)
+            attempts = 0
+            while len(members) < size and attempts < size * 5:
+                attempts += 1
+                pick = (
+                    pool[rng.randrange(len(pool))]
+                    if rng.random() < 0.7
+                    else self._all_persons[
+                        rng.randrange(len(self._all_persons))
+                    ]
+                )
+                if pick.id in members:
+                    continue
+                members.add(pick.id)
+                join = date_skewed_early(
+                    rng, max(creation, pick.creation_date), SIM_END_MS, bias=1.8
+                )
+                self._all_memberships.append(
+                    ForumMembership(forum.id, pick.id, join)
+                )
+            self._all_memberships.append(
+                ForumMembership(forum.id, moderator.id, creation)
+            )
+            self.forum_members[forum.id] = sorted(members)
+
+    # -- messages -----------------------------------------------------------------------
+
+    def _next_message_id(self) -> int:
+        self._message_id += 1
+        return self._message_id
+
+    def _gen_messages(self) -> None:
+        rng = self.rng
+        persons_by_id = {p.id: p for p in self._all_persons}
+        tag_names = {t.id: t.name for t in self.dataset.tags}
+
+        for forum in self._all_forums:
+            members = self.forum_members[forum.id]
+            post_count = power_law_int(
+                rng, 1, max(4, 3 * len(members)), alpha=1.7
+            )
+            for _ in range(post_count):
+                author = persons_by_id[members[rng.randrange(len(members))]]
+                earliest = max(forum.creation_date, author.creation_date)
+                created = date_skewed_early(rng, earliest, SIM_END_MS, bias=2.2)
+                tag = (
+                    rng.choice(forum.tags)
+                    if forum.tags
+                    else self.tag_ids[zipf_choice(rng, len(self.tag_ids))]
+                )
+                content = rng.choice(dicts.POST_SNIPPETS).format(
+                    tag=tag_names[tag]
+                )
+                post = Post(
+                    id=self._next_message_id(),
+                    creation_date=created,
+                    creator=author.id,
+                    forum=forum.id,
+                    content=content,
+                    length=len(content),
+                    browser_used=author.browser_used,
+                    location_ip=author.location_ip,
+                    language=rng.choice(author.speaks),
+                    country=self.country_of_city[author.city],
+                    tags=[tag],
+                )
+                self._all_posts.append(post)
+                self._creation[post.id] = created
+                self._gen_comment_tree(post, members, persons_by_id, tag_names)
+
+    def _gen_comment_tree(
+        self,
+        post: Post,
+        members: list[int],
+        persons_by_id: dict[int, Person],
+        tag_names: dict[int, str],
+    ) -> None:
+        rng = self.rng
+        count = power_law_int(rng, 1, 40, alpha=1.9) - 1
+        thread: list[tuple[int, int]] = [(post.id, post.creation_date)]
+        for _ in range(count):
+            author = persons_by_id[members[rng.randrange(len(members))]]
+            parent_id, parent_date = thread[rng.randrange(len(thread))]
+            earliest = max(parent_date, author.creation_date)
+            created = date_between(
+                rng, earliest, min(SIM_END_MS, earliest + 30 * _DAY_MS)
+            )
+            tag = post.tags[0] if post.tags and rng.random() < 0.3 else None
+            snippet = rng.choice(dicts.COMMENT_SNIPPETS)
+            content = (
+                snippet.format(tag=tag_names[tag])
+                if tag is not None and "{tag}" in snippet
+                else snippet.replace("{tag}", "this")
+            )
+            comment = Comment(
+                id=self._next_message_id(),
+                creation_date=created,
+                creator=author.id,
+                reply_of=parent_id,
+                root_post=post.id,
+                content=content,
+                length=len(content),
+                browser_used=author.browser_used,
+                location_ip=author.location_ip,
+                country=self.country_of_city[author.city],
+                tags=[tag] if tag is not None else [],
+            )
+            self._all_comments.append(comment)
+            self._creation[comment.id] = created
+            thread.append((comment.id, created))
+
+    # -- likes ----------------------------------------------------------------------------
+
+    def _gen_likes(self) -> None:
+        rng = self.rng
+        for messages, forum_of in (
+            (self._all_posts, lambda m: m.forum),
+            (self._all_comments, lambda m: m.root_post),
+        ):
+            for message in messages:
+                count = power_law_int(rng, 1, 30, alpha=1.75) - 1
+                if count == 0:
+                    continue
+                if isinstance(message, Post):
+                    pool = self.forum_members[message.forum]
+                else:
+                    pool = sorted(self.adjacency.get(message.creator, ()))
+                if not pool:
+                    continue
+                likers = set()
+                for _ in range(count):
+                    liker = pool[rng.randrange(len(pool))]
+                    if liker in likers or liker == message.creator:
+                        continue
+                    likers.add(liker)
+                    liker_creation = self._creation.get(
+                        liker, SIM_START_MS
+                    )
+                    earliest = max(message.creation_date, liker_creation)
+                    created = date_between(
+                        rng, earliest, min(SIM_END_MS, earliest + 7 * _DAY_MS)
+                    )
+                    self._all_likes.append(Like(liker, message.id, created))
+
+    # -- snapshot / update split --------------------------------------------------------------
+
+    def _split(self) -> None:
+        data = self.dataset
+        cutoff = self.cutoff_ms
+        updates: list[UpdateEvent] = []
+        persons_by_id = {p.id: p for p in self._all_persons}
+
+        for person in self._all_persons:
+            if person.creation_date < cutoff:
+                data.persons.append(person)
+            else:
+                updates.append(
+                    UpdateEvent(
+                        UpdateKind.ADD_PERSON,
+                        person.creation_date,
+                        SIM_START_MS,
+                        person,
+                    )
+                )
+        for knows in self._all_knows:
+            dep = max(
+                persons_by_id[knows.person1].creation_date,
+                persons_by_id[knows.person2].creation_date,
+            )
+            if knows.creation_date < cutoff:
+                data.knows.append(knows)
+            else:
+                updates.append(
+                    UpdateEvent(
+                        UpdateKind.ADD_FRIENDSHIP, knows.creation_date, dep, knows
+                    )
+                )
+        for forum in self._all_forums:
+            dep = persons_by_id[forum.moderator].creation_date
+            if forum.creation_date < cutoff:
+                data.forums.append(forum)
+            else:
+                updates.append(
+                    UpdateEvent(
+                        UpdateKind.ADD_FORUM, forum.creation_date, dep, forum
+                    )
+                )
+        for membership in self._all_memberships:
+            dep = max(
+                self._creation[membership.forum],
+                persons_by_id[membership.person].creation_date,
+            )
+            if membership.join_date < cutoff:
+                data.memberships.append(membership)
+            else:
+                updates.append(
+                    UpdateEvent(
+                        UpdateKind.ADD_FORUM_MEMBERSHIP,
+                        membership.join_date,
+                        dep,
+                        membership,
+                    )
+                )
+        for post in self._all_posts:
+            dep = max(
+                self._creation[post.forum],
+                persons_by_id[post.creator].creation_date,
+            )
+            if post.creation_date < cutoff:
+                data.posts.append(post)
+            else:
+                updates.append(
+                    UpdateEvent(
+                        UpdateKind.ADD_POST, post.creation_date, dep, post
+                    )
+                )
+        post_ids = {p.id for p in self._all_posts}
+        for comment in self._all_comments:
+            dep = max(
+                self._creation[comment.reply_of],
+                persons_by_id[comment.creator].creation_date,
+            )
+            if comment.creation_date < cutoff:
+                data.comments.append(comment)
+            else:
+                updates.append(
+                    UpdateEvent(
+                        UpdateKind.ADD_COMMENT,
+                        comment.creation_date,
+                        dep,
+                        comment,
+                    )
+                )
+        for like in self._all_likes:
+            dep = max(
+                self._creation[like.message],
+                persons_by_id[like.person].creation_date,
+            )
+            kind = (
+                UpdateKind.ADD_POST_LIKE
+                if like.message in post_ids
+                else UpdateKind.ADD_COMMENT_LIKE
+            )
+            if like.creation_date < cutoff:
+                data.likes.append(like)
+            else:
+                updates.append(
+                    UpdateEvent(kind, like.creation_date, dep, like)
+                )
+        updates.sort()
+        data.updates = updates

@@ -1,0 +1,149 @@
+"""Static dictionaries for the datagen: names, places, tags, organisations.
+
+The real LDBC datagen draws from DBpedia dictionaries; these are compact
+synthetic equivalents with the same *roles* (correlated person attributes,
+Zipf-popular tags, a place hierarchy).
+"""
+
+from __future__ import annotations
+
+FIRST_NAMES = [
+    "Liam", "Olivia", "Noah", "Emma", "Oliver", "Ava", "Elijah", "Sophia",
+    "Mateo", "Isabella", "Lucas", "Mia", "Levi", "Charlotte", "Ezra",
+    "Amelia", "Asher", "Harper", "Leo", "Evelyn", "James", "Luna", "Luca",
+    "Camila", "Hudson", "Gianna", "Ethan", "Elizabeth", "Muhammad", "Eleanor",
+    "Maverick", "Ella", "Kai", "Abigail", "Aiden", "Sofia", "Jack", "Avery",
+    "Theo", "Scarlett", "Wei", "Mei", "Hiroshi", "Yuki", "Ravi", "Priya",
+    "Ahmed", "Fatima", "Carlos", "Lucia", "Ivan", "Anya", "Pierre", "Amelie",
+    "Hans", "Greta", "Olaf", "Ingrid", "Tariq", "Zara",
+]
+
+LAST_NAMES = [
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+    "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+    "Chen", "Wang", "Singh", "Kumar", "Tanaka", "Sato", "Kim", "Park",
+    "Nguyen", "Tran", "Ali", "Hassan", "Ibrahim", "Silva", "Santos",
+    "Petrov", "Ivanov", "Dubois", "Moreau", "Muller", "Schmidt", "Larsen",
+    "Andersen",
+]
+
+GENDERS = ["male", "female"]
+
+BROWSERS = ["Firefox", "Chrome", "Internet Explorer", "Safari", "Opera"]
+
+LANGUAGES = ["en", "de", "fr", "es", "pt", "zh", "hi", "ar", "ru", "ja"]
+
+#: (continent, country, [cities]) — the isPartOf hierarchy
+PLACES = [
+    ("Europe", "Germany", ["Berlin", "Munich", "Hamburg"]),
+    ("Europe", "France", ["Paris", "Lyon", "Marseille"]),
+    ("Europe", "United_Kingdom", ["London", "Manchester", "Leeds"]),
+    ("Europe", "Spain", ["Madrid", "Barcelona", "Valencia"]),
+    ("Europe", "Italy", ["Rome", "Milan", "Naples"]),
+    ("Europe", "Netherlands", ["Amsterdam", "Rotterdam", "Utrecht"]),
+    ("Europe", "Poland", ["Warsaw", "Krakow", "Gdansk"]),
+    ("Europe", "Russia", ["Moscow", "Saint_Petersburg", "Kazan"]),
+    ("Asia", "China", ["Beijing", "Shanghai", "Shenzhen"]),
+    ("Asia", "India", ["Mumbai", "Delhi", "Bangalore"]),
+    ("Asia", "Japan", ["Tokyo", "Osaka", "Kyoto"]),
+    ("Asia", "South_Korea", ["Seoul", "Busan", "Incheon"]),
+    ("Asia", "Indonesia", ["Jakarta", "Surabaya", "Bandung"]),
+    ("Asia", "Vietnam", ["Hanoi", "Ho_Chi_Minh_City", "Da_Nang"]),
+    ("America", "United_States", ["New_York", "Los_Angeles", "Chicago"]),
+    ("America", "Canada", ["Toronto", "Montreal", "Waterloo"]),
+    ("America", "Brazil", ["Sao_Paulo", "Rio_de_Janeiro", "Brasilia"]),
+    ("America", "Mexico", ["Mexico_City", "Guadalajara", "Monterrey"]),
+    ("America", "Argentina", ["Buenos_Aires", "Cordoba", "Rosario"]),
+    ("Africa", "Egypt", ["Cairo", "Alexandria", "Giza"]),
+    ("Africa", "Nigeria", ["Lagos", "Abuja", "Kano"]),
+    ("Africa", "South_Africa", ["Johannesburg", "Cape_Town", "Durban"]),
+    ("Oceania", "Australia", ["Sydney", "Melbourne", "Brisbane"]),
+    ("Oceania", "New_Zealand", ["Auckland", "Wellington", "Christchurch"]),
+]
+
+#: tag class hierarchy: (class, parent or None)
+TAG_CLASSES = [
+    ("Thing", None),
+    ("Agent", "Thing"),
+    ("Person", "Agent"),
+    ("Organisation", "Agent"),
+    ("Artist", "Person"),
+    ("MusicalArtist", "Artist"),
+    ("Writer", "Artist"),
+    ("Politician", "Person"),
+    ("Athlete", "Person"),
+    ("Work", "Thing"),
+    ("Album", "Work"),
+    ("Film", "Work"),
+    ("Book", "Work"),
+    ("Event", "Thing"),
+    ("SportsEvent", "Event"),
+    ("Place", "Thing"),
+    ("Country", "Place"),
+    ("City", "Place"),
+    ("Species", "Thing"),
+    ("Technology", "Thing"),
+]
+
+#: (tag name, tag class) — popularity follows Zipf over list order
+TAGS = [
+    ("The_Beatles", "MusicalArtist"), ("Elvis_Presley", "MusicalArtist"),
+    ("David_Bowie", "MusicalArtist"), ("Madonna", "MusicalArtist"),
+    ("Queen", "MusicalArtist"), ("Bob_Dylan", "MusicalArtist"),
+    ("Michael_Jackson", "MusicalArtist"), ("Pink_Floyd", "MusicalArtist"),
+    ("Leo_Tolstoy", "Writer"), ("Jane_Austen", "Writer"),
+    ("Mark_Twain", "Writer"), ("Franz_Kafka", "Writer"),
+    ("Haruki_Murakami", "Writer"), ("George_Orwell", "Writer"),
+    ("Napoleon", "Politician"), ("Winston_Churchill", "Politician"),
+    ("Abraham_Lincoln", "Politician"), ("Mahatma_Gandhi", "Politician"),
+    ("Nelson_Mandela", "Politician"), ("Julius_Caesar", "Politician"),
+    ("Pele", "Athlete"), ("Muhammad_Ali", "Athlete"),
+    ("Serena_Williams", "Athlete"), ("Usain_Bolt", "Athlete"),
+    ("Roger_Federer", "Athlete"), ("Diego_Maradona", "Athlete"),
+    ("Abbey_Road", "Album"), ("Thriller", "Album"),
+    ("Dark_Side_of_the_Moon", "Album"), ("Casablanca", "Film"),
+    ("The_Godfather", "Film"), ("Citizen_Kane", "Film"),
+    ("Metropolis", "Film"), ("War_and_Peace", "Book"),
+    ("Don_Quixote", "Book"), ("Moby_Dick", "Book"),
+    ("Hamlet", "Book"), ("The_Odyssey", "Book"),
+    ("Olympic_Games", "SportsEvent"), ("World_Cup", "SportsEvent"),
+    ("Tour_de_France", "SportsEvent"), ("Wimbledon", "SportsEvent"),
+    ("Machine_Learning", "Technology"), ("Databases", "Technology"),
+    ("Distributed_Systems", "Technology"), ("Compilers", "Technology"),
+    ("Operating_Systems", "Technology"), ("Graph_Theory", "Technology"),
+    ("Quantum_Computing", "Technology"), ("Cryptography", "Technology"),
+    ("Giant_Panda", "Species"), ("Blue_Whale", "Species"),
+    ("Monarch_Butterfly", "Species"), ("Snow_Leopard", "Species"),
+    ("Honey_Bee", "Species"), ("Emperor_Penguin", "Species"),
+]
+
+UNIVERSITY_NAMES = [
+    "University_of_{city}", "{city}_Institute_of_Technology",
+]
+
+COMPANY_SUFFIXES = [
+    "Airlines", "Software", "Industries", "Logistics", "Energy", "Motors",
+    "Foods", "Media", "Bank", "Telecom",
+]
+
+FORUM_TITLE_PATTERNS = [
+    "Wall of {name}",
+    "Group for {tag} in {city}",
+    "Album about {tag}",
+]
+
+POST_SNIPPETS = [
+    "About {tag}: photos from my trip.",
+    "About {tag}: thoughts after reading a lot about it.",
+    "About {tag}: can anyone recommend a good introduction?",
+    "About {tag}: this changed how I think.",
+    "About {tag}: fine, but overrated in my opinion.",
+]
+
+COMMENT_SNIPPETS = [
+    "thanks", "great", "ok", "thx", "good", "cool", "roflol", "no",
+    "I see", "right", "duh", "fine", "LOL", "About {tag}: totally agree.",
+    "About {tag}: not so sure about that.", "maybe",
+]

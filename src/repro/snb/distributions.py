@@ -1,0 +1,75 @@
+"""Random distributions used by the datagen (all seeded, all deterministic)."""
+
+from __future__ import annotations
+
+import random
+
+
+def power_law_int(
+    rng: random.Random, minimum: int, maximum: int, alpha: float = 2.2
+) -> int:
+    """Sample an integer in ``[minimum, maximum]`` from a power law.
+
+    Uses inverse-CDF sampling of a continuous Pareto-like density
+    ``p(x) ~ x^-alpha`` truncated to the range; degree-like quantities in
+    social networks (friends, posts per forum, replies per post) follow
+    this shape.
+    """
+    if minimum < 1:
+        raise ValueError("minimum must be >= 1 for a power law")
+    if maximum < minimum:
+        raise ValueError("maximum must be >= minimum")
+    if maximum == minimum:
+        return minimum
+    u = rng.random()
+    lo = float(minimum)
+    hi = float(maximum) + 1.0
+    exp = 1.0 - alpha
+    x = (lo**exp + u * (hi**exp - lo**exp)) ** (1.0 / exp)
+    return min(maximum, max(minimum, int(x)))
+
+
+def zipf_choice(rng: random.Random, n: int, skew: float = 1.0) -> int:
+    """Pick an index in ``[0, n)`` with Zipfian popularity (0 most popular).
+
+    Implemented by inverse-CDF over the harmonic-like weights; popularity
+    of tags, places, and communities is Zipf-distributed in real social
+    data.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if n == 1:
+        return 0
+    # approximate inverse CDF for the continuous analogue
+    u = rng.random()
+    if skew == 1.0:
+        # CDF(x) ~ ln(1+x)/ln(1+n)
+        import math
+
+        return min(n - 1, int(math.expm1(u * math.log1p(n))))
+    exp = 1.0 - skew
+    x = ((n**exp - 1.0) * u + 1.0) ** (1.0 / exp) - 1.0
+    return min(n - 1, max(0, int(x)))
+
+
+def date_between(rng: random.Random, start_ms: int, end_ms: int) -> int:
+    """Uniform timestamp in ``[start_ms, end_ms)``."""
+    if end_ms <= start_ms:
+        return start_ms
+    return rng.randrange(start_ms, end_ms)
+
+
+def date_skewed_early(
+    rng: random.Random, start_ms: int, end_ms: int, bias: float = 2.0
+) -> int:
+    """Timestamp in ``[start_ms, end_ms)`` biased towards ``start_ms``.
+
+    Social activity tends to follow entity creation closely (you post to a
+    forum soon after joining it); without this bias, chained sampling
+    (person -> forum -> post -> comment) compounds towards the end of the
+    simulation window and inflates the update stream.
+    """
+    if end_ms <= start_ms:
+        return start_ms
+    span = end_ms - start_ms
+    return start_ms + int(span * (rng.random() ** bias))

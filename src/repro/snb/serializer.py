@@ -1,0 +1,162 @@
+"""CSV serialization of a generated dataset (LDBC datagen output format).
+
+Used both to materialize datasets on disk and to measure the "Raw files"
+column of Table 1 (the serialized footprint before any system loads it).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.snb.datagen import SnbDataset
+
+
+def _person_rows(data: SnbDataset) -> Iterable[list]:
+    for p in data.persons:
+        yield [
+            p.id, p.first_name, p.last_name, p.gender, p.birthday,
+            p.creation_date, p.location_ip, p.browser_used, p.city,
+            ";".join(p.speaks), ";".join(p.emails),
+        ]
+
+
+def _tables(data: SnbDataset) -> dict[str, tuple[list[str], Iterable[list]]]:
+    """table name -> (header, row iterable)."""
+    return {
+        "place": (
+            ["id", "name", "type", "isPartOf"],
+            ([p.id, p.name, p.kind, p.part_of] for p in data.places),
+        ),
+        "tagclass": (
+            ["id", "name", "isSubclassOf"],
+            ([t.id, t.name, t.subclass_of] for t in data.tag_classes),
+        ),
+        "tag": (
+            ["id", "name", "hasType"],
+            ([t.id, t.name, t.tag_class] for t in data.tags),
+        ),
+        "organisation": (
+            ["id", "name", "type", "place"],
+            ([o.id, o.name, o.kind, o.place] for o in data.organisations),
+        ),
+        "person": (
+            [
+                "id", "firstName", "lastName", "gender", "birthday",
+                "creationDate", "locationIP", "browserUsed", "city",
+                "speaks", "email",
+            ],
+            _person_rows(data),
+        ),
+        "person_studyAt_organisation": (
+            ["personId", "organisationId", "classYear"],
+            (
+                [p.id, p.university, p.class_year]
+                for p in data.persons
+                if p.university is not None
+            ),
+        ),
+        "person_workAt_organisation": (
+            ["personId", "organisationId", "workFrom"],
+            (
+                [p.id, p.company, p.work_from]
+                for p in data.persons
+                if p.company is not None
+            ),
+        ),
+        "person_hasInterest_tag": (
+            ["personId", "tagId"],
+            ([p.id, t] for p in data.persons for t in p.interests),
+        ),
+        "person_knows_person": (
+            ["person1Id", "person2Id", "creationDate"],
+            ([k.person1, k.person2, k.creation_date] for k in data.knows),
+        ),
+        "forum": (
+            ["id", "title", "creationDate", "moderator"],
+            (
+                [f.id, f.title, f.creation_date, f.moderator]
+                for f in data.forums
+            ),
+        ),
+        "forum_hasTag_tag": (
+            ["forumId", "tagId"],
+            ([f.id, t] for f in data.forums for t in f.tags),
+        ),
+        "forum_hasMember_person": (
+            ["forumId", "personId", "joinDate"],
+            (
+                [m.forum, m.person, m.join_date]
+                for m in data.memberships
+            ),
+        ),
+        "post": (
+            [
+                "id", "creationDate", "creator", "forum", "content",
+                "length", "browserUsed", "locationIP", "language", "country",
+            ],
+            (
+                [
+                    p.id, p.creation_date, p.creator, p.forum, p.content,
+                    p.length, p.browser_used, p.location_ip, p.language,
+                    p.country,
+                ]
+                for p in data.posts
+            ),
+        ),
+        "post_hasTag_tag": (
+            ["postId", "tagId"],
+            ([p.id, t] for p in data.posts for t in p.tags),
+        ),
+        "comment": (
+            [
+                "id", "creationDate", "creator", "replyOf", "rootPost",
+                "content", "length", "browserUsed", "locationIP", "country",
+            ],
+            (
+                [
+                    c.id, c.creation_date, c.creator, c.reply_of,
+                    c.root_post, c.content, c.length, c.browser_used,
+                    c.location_ip, c.country,
+                ]
+                for c in data.comments
+            ),
+        ),
+        "comment_hasTag_tag": (
+            ["commentId", "tagId"],
+            ([c.id, t] for c in data.comments for t in c.tags),
+        ),
+        "person_likes_message": (
+            ["personId", "messageId", "creationDate"],
+            ([l.person, l.message, l.creation_date] for l in data.likes),
+        ),
+    }
+
+
+def serialize_to_dir(data: SnbDataset, directory: str | Path) -> dict[str, int]:
+    """Write one CSV per table; returns per-file byte sizes."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    sizes: dict[str, int] = {}
+    for name, (header, rows) in _tables(data).items():
+        path = directory / f"{name}.csv"
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh, delimiter="|")
+            writer.writerow(header)
+            writer.writerows(rows)
+        sizes[name] = path.stat().st_size
+    return sizes
+
+
+def raw_size_bytes(data: SnbDataset) -> int:
+    """Total serialized size without touching disk."""
+    total = 0
+    for _name, (header, rows) in _tables(data).items():
+        sink = io.StringIO()
+        writer = csv.writer(sink, delimiter="|")
+        writer.writerow(header)
+        writer.writerows(rows)
+        total += len(sink.getvalue().encode("utf-8"))
+    return total

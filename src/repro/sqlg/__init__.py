@@ -1,0 +1,12 @@
+"""Sqlg: the TinkerPop3 API implemented over the relational engine.
+
+Every provider call becomes one or more SQL statements against the
+row-store database — the paper's "translating graph queries into multiple
+small requests eliminates optimization opportunities" pathology, measured
+directly here because each statement pays the client round trip and the
+executor runs per-statement plans instead of one joined plan.
+"""
+
+from repro.sqlg.graph import SqlgProvider
+
+__all__ = ["SqlgProvider"]

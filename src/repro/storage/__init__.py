@@ -1,0 +1,42 @@
+"""Storage substrates shared by all database engines in the reproduction.
+
+* :mod:`repro.storage.pages`     — byte-level slotted pages
+* :mod:`repro.storage.buffer`    — disk manager + LRU buffer pool
+* :mod:`repro.storage.codec`     — schema-driven row (de)serialization
+* :mod:`repro.storage.heap`      — heap files of variable-length records
+* :mod:`repro.storage.btree`     — B+tree index with range scans
+* :mod:`repro.storage.hashindex` — equality-only hash index
+* :mod:`repro.storage.column`    — append-optimized column store segments
+* :mod:`repro.storage.lsm`       — LSM tree (memtable / SSTables / bloom)
+* :mod:`repro.storage.bdb`       — embedded ordered KV store (BerkeleyDB-like)
+* :mod:`repro.storage.wal`       — write-ahead log + checkpointer
+"""
+
+from repro.storage.btree import BPlusTree
+from repro.storage.buffer import BufferPool, DiskManager
+from repro.storage.codec import ColumnType, RowCodec
+from repro.storage.column import ColumnTable
+from repro.storage.hashindex import HashIndex
+from repro.storage.heap import RID, HeapFile
+from repro.storage.lsm import LSMTree
+from repro.storage.bdb import BDBStore
+from repro.storage.pages import PAGE_SIZE, SlottedPage
+from repro.storage.wal import Checkpointer, WriteAheadLog
+
+__all__ = [
+    "PAGE_SIZE",
+    "SlottedPage",
+    "DiskManager",
+    "BufferPool",
+    "ColumnType",
+    "RowCodec",
+    "RID",
+    "HeapFile",
+    "BPlusTree",
+    "HashIndex",
+    "ColumnTable",
+    "LSMTree",
+    "BDBStore",
+    "WriteAheadLog",
+    "Checkpointer",
+]

@@ -1,0 +1,111 @@
+"""Heap files: unordered collections of variable-length records.
+
+A heap file owns a list of slotted pages in a buffer pool and keeps a
+simple in-memory free-space map (page id -> bytes free), mirroring
+PostgreSQL's FSM.  Records are addressed by :class:`RID` (page id, slot no),
+which stays stable across in-place updates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import NamedTuple
+
+from repro.simclock.ledger import charge
+from repro.storage.buffer import BufferPool
+from repro.storage.pages import PAGE_SIZE
+
+
+class RID(NamedTuple):
+    """Record identifier: physical position of a record."""
+
+    page_id: int
+    slot: int
+
+
+class HeapFile:
+    """A bag of records with insert/fetch/update/delete/scan."""
+
+    def __init__(self, pool: BufferPool, name: str = "heap") -> None:
+        self.pool = pool
+        self.name = name
+        self.page_ids: list[int] = []
+        self._free_space: dict[int, int] = {}
+        # pages recently seen with free room; checked newest-first so the
+        # common insert path is O(1) instead of scanning the whole file
+        self._candidates: list[int] = []
+        self.record_count = 0
+
+    # -- write path -------------------------------------------------------------
+
+    def insert(self, record: bytes) -> RID:
+        if len(record) > PAGE_SIZE - 64:
+            raise ValueError(
+                f"record of {len(record)} bytes exceeds page capacity"
+            )
+        page_id = self._find_page_with_space(len(record))
+        page = self.pool.get_page(page_id)
+        slot = page.insert(record)
+        self.pool.mark_dirty(page_id)
+        self._free_space[page_id] = page.free_space()
+        self.record_count += 1
+        charge("tuple_cpu")
+        return RID(page_id, slot)
+
+    def update(self, rid: RID, record: bytes) -> RID:
+        """Update a record; returns its (possibly new) RID."""
+        page = self.pool.get_page(rid.page_id)
+        if page.update_in_place(rid.slot, record):
+            self.pool.mark_dirty(rid.page_id)
+            charge("tuple_cpu")
+            return rid
+        # record grew: delete + reinsert elsewhere
+        page.delete(rid.slot)
+        self.pool.mark_dirty(rid.page_id)
+        self._free_space[rid.page_id] = page.free_space()
+        self.record_count -= 1
+        return self.insert(record)
+
+    def delete(self, rid: RID) -> None:
+        page = self.pool.get_page(rid.page_id)
+        page.delete(rid.slot)
+        self.pool.mark_dirty(rid.page_id)
+        self._free_space[rid.page_id] = page.free_space()
+        self.record_count -= 1
+        charge("tuple_cpu")
+
+    # -- read path ---------------------------------------------------------------
+
+    def fetch(self, rid: RID) -> bytes:
+        page = self.pool.get_page(rid.page_id)
+        charge("tuple_cpu")
+        return page.read(rid.slot)
+
+    def scan(self) -> Iterator[tuple[RID, bytes]]:
+        """Full scan in physical order."""
+        for page_id in self.page_ids:
+            page = self.pool.get_page(page_id)
+            for slot, record in page.records():
+                charge("tuple_cpu")
+                yield RID(page_id, slot), record
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _find_page_with_space(self, needed: int) -> int:
+        for page_id in reversed(self._candidates[-4:]):
+            if self._free_space.get(page_id, 0) >= needed:
+                return page_id
+        page_id, page = self.pool.new_page()
+        self.page_ids.append(page_id)
+        self._free_space[page_id] = page.free_space()
+        self._candidates.append(page_id)
+        if len(self._candidates) > 16:
+            self._candidates = self._candidates[-8:]
+        return page_id
+
+    @property
+    def page_count(self) -> int:
+        return len(self.page_ids)
+
+    def size_bytes(self) -> int:
+        return self.page_count * PAGE_SIZE

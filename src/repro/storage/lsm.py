@@ -1,0 +1,196 @@
+"""Log-structured merge tree (the Cassandra-like storage backend).
+
+Writes go to a memtable and are cheap and lock-free — this is why Titan-C
+is the only system whose ingestion *scales* with concurrent loaders in the
+paper's Appendix A.  Reads pay for it: a point lookup may probe several
+SSTables (bloom filters shortcut most), which is the mechanism behind
+Titan-C's slow point lookups in Tables 2–3.
+
+Keys and values are ``bytes``.  Deletes write tombstones; size-tiered
+compaction merges all SSTables once their count exceeds a threshold.
+"""
+
+from __future__ import annotations
+
+import zlib
+from bisect import bisect_left
+from collections.abc import Iterator
+
+from repro.simclock.ledger import charge
+
+_TOMBSTONE = object()
+
+
+class BloomFilter:
+    """k-hash bloom filter using double hashing (two CRC32 evaluations
+    derive all k probe positions — the standard Kirsch-Mitzenmacher
+    construction, and much cheaper than k independent hashes)."""
+
+    def __init__(self, expected_items: int, bits_per_item: int = 10) -> None:
+        self.size = max(64, expected_items * bits_per_item)
+        self.num_hashes = 5
+        self._bits = 0
+
+    def _positions(self, key: bytes) -> Iterator[int]:
+        h1 = zlib.crc32(key)
+        h2 = zlib.crc32(key, 0x9E3779B9) | 1
+        for i in range(self.num_hashes):
+            yield (h1 + i * h2) % self.size
+
+    def add(self, key: bytes) -> None:
+        for pos in self._positions(key):
+            self._bits |= 1 << pos
+
+    def might_contain(self, key: bytes) -> bool:
+        charge("lsm_bloom_check")
+        return all(self._bits >> pos & 1 for pos in self._positions(key))
+
+
+class SSTable:
+    """An immutable sorted run of ``(key, value_or_tombstone)`` entries."""
+
+    def __init__(self, entries: list[tuple[bytes, object]]) -> None:
+        # entries must arrive sorted by key, unique keys
+        self.keys = [k for k, _ in entries]
+        self.values = [v for _, v in entries]
+        self.bloom = BloomFilter(len(entries) or 1)
+        for key in self.keys:
+            self.bloom.add(key)
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def get(self, key: bytes) -> object | None:
+        """Value, ``_TOMBSTONE``, or ``None`` when absent."""
+        if not self.bloom.might_contain(key):
+            return None
+        charge("lsm_sstable_probe")
+        idx = bisect_left(self.keys, key)
+        if idx < len(self.keys) and self.keys[idx] == key:
+            return self.values[idx]
+        return None
+
+    def range_from(self, lo: bytes) -> Iterator[tuple[bytes, object]]:
+        charge("lsm_sstable_probe")
+        idx = bisect_left(self.keys, lo)
+        while idx < len(self.keys):
+            yield self.keys[idx], self.values[idx]
+            idx += 1
+
+    def size_bytes(self) -> int:
+        return sum(
+            len(k) + (len(v) if isinstance(v, bytes) else 1)
+            for k, v in zip(self.keys, self.values)
+        )
+
+
+class LSMTree:
+    """Memtable + SSTables with size-tiered compaction."""
+
+    def __init__(
+        self,
+        memtable_limit: int = 4096,
+        max_sstables: int = 6,
+        name: str = "lsm",
+    ) -> None:
+        self.name = name
+        self.memtable_limit = memtable_limit
+        self.max_sstables = max_sstables
+        self._memtable: dict[bytes, object] = {}
+        self._sstables: list[SSTable] = []  # newest first
+        self.flush_count = 0
+        self.compaction_count = 0
+
+    # -- write path --------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        if not isinstance(key, bytes) or not isinstance(value, bytes):
+            raise TypeError("LSM keys and values must be bytes")
+        charge("lsm_memtable_op")
+        charge("wal_append")
+        self._memtable[key] = value
+        if len(self._memtable) >= self.memtable_limit:
+            self._flush()
+
+    def delete(self, key: bytes) -> None:
+        charge("lsm_memtable_op")
+        charge("wal_append")
+        self._memtable[key] = _TOMBSTONE
+        if len(self._memtable) >= self.memtable_limit:
+            self._flush()
+
+    def _flush(self) -> None:
+        entries = sorted(self._memtable.items())
+        for _ in entries:
+            charge("lsm_compaction_item")
+        self._sstables.insert(0, SSTable(entries))
+        self._memtable = {}
+        self.flush_count += 1
+        if len(self._sstables) > self.max_sstables:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Major compaction: merge every run into one, dropping
+        tombstones.  Newer runs shadow older ones."""
+        merged: dict[bytes, object] = {}
+        # oldest first so newer runs overwrite
+        for sstable in reversed(self._sstables):
+            for key, value in zip(sstable.keys, sstable.values):
+                charge("lsm_compaction_item")
+                merged[key] = value
+        live = sorted(
+            (k, v) for k, v in merged.items() if v is not _TOMBSTONE
+        )
+        self._sstables = [SSTable(live)] if live else []
+        self.compaction_count += 1
+
+    def flush(self) -> None:
+        """Force the memtable out (used by loaders before measuring reads)."""
+        if self._memtable:
+            self._flush()
+
+    # -- read path -------------------------------------------------------------
+
+    def get(self, key: bytes) -> bytes | None:
+        charge("lsm_memtable_op")
+        if key in self._memtable:
+            value = self._memtable[key]
+            return None if value is _TOMBSTONE else value  # type: ignore[return-value]
+        for sstable in self._sstables:
+            value = sstable.get(key)
+            if value is not None:
+                return None if value is _TOMBSTONE else value  # type: ignore[return-value]
+        return None
+
+    def range_scan(
+        self, lo: bytes, hi_exclusive: bytes
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Merge-scan keys in ``[lo, hi_exclusive)`` across all runs."""
+        candidates: dict[bytes, object] = {}
+        for sstable in reversed(self._sstables):
+            for key, value in sstable.range_from(lo):
+                if key >= hi_exclusive:
+                    break
+                candidates[key] = value
+        charge("lsm_memtable_op")
+        for key, value in self._memtable.items():
+            if lo <= key < hi_exclusive:
+                candidates[key] = value
+        for key in sorted(candidates):
+            value = candidates[key]
+            if value is not _TOMBSTONE:
+                charge("value_cpu")
+                yield key, value  # type: ignore[misc]
+
+    # -- stats --------------------------------------------------------------------
+
+    @property
+    def sstable_count(self) -> int:
+        return len(self._sstables)
+
+    def size_bytes(self) -> int:
+        mem = sum(
+            len(k) + (len(v) if isinstance(v, bytes) else 1)
+            for k, v in self._memtable.items()
+        )
+        return mem + sum(s.size_bytes() for s in self._sstables)

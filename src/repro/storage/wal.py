@@ -1,0 +1,79 @@
+"""Write-ahead log and checkpointing.
+
+Engines append logical records per modification (``wal_append``) and pay an
+``wal_fsync`` at commit.  The :class:`Checkpointer` flushes dirty buffer
+pages; the Neo4j-like engine runs one periodically, and the Figure 3
+harness converts each checkpoint's page count into a write-stall window —
+reproducing the paper's observation that "Neo4j's update performance
+suffers from sudden drops due to checkpointing".
+"""
+
+from __future__ import annotations
+
+from repro.simclock.ledger import charge
+from repro.storage.buffer import BufferPool
+
+
+class WriteAheadLog:
+    """An append-only log of opaque records with group commit."""
+
+    def __init__(self, name: str = "wal") -> None:
+        self.name = name
+        self._records: list[bytes] = []
+        self.appended_bytes = 0
+        self.fsync_count = 0
+        self._last_synced_lsn = 0
+
+    def append(self, record: bytes) -> int:
+        """Append one record; returns its LSN (1-based)."""
+        charge("wal_append")
+        self._records.append(record)
+        self.appended_bytes += len(record)
+        return len(self._records)
+
+    def commit(self) -> None:
+        """Make everything appended so far durable (one fsync)."""
+        if self._last_synced_lsn < len(self._records):
+            charge("wal_fsync")
+            self.fsync_count += 1
+            self._last_synced_lsn = len(self._records)
+
+    @property
+    def last_lsn(self) -> int:
+        return len(self._records)
+
+    @property
+    def unsynced_records(self) -> int:
+        return len(self._records) - self._last_synced_lsn
+
+    def records_since(self, lsn: int) -> list[bytes]:
+        """Records after ``lsn`` (for recovery tests)."""
+        return list(self._records[lsn:])
+
+    def durable_records(self) -> list[bytes]:
+        """Records made durable by a commit — what recovery may replay.
+
+        Appended-but-unsynced records are lost in a crash, exactly as on
+        a real system without the final fsync.
+        """
+        return list(self._records[: self._last_synced_lsn])
+
+
+class Checkpointer:
+    """Flushes dirty pages and truncates the log's recovery window."""
+
+    def __init__(self, pool: BufferPool, wal: WriteAheadLog) -> None:
+        self.pool = pool
+        self.wal = wal
+        self.checkpoint_count = 0
+        self.last_checkpoint_lsn = 0
+        self.last_pages_flushed = 0
+
+    def checkpoint(self) -> int:
+        """Flush all dirty pages; returns the number flushed."""
+        self.wal.commit()
+        flushed = self.pool.flush_all()
+        self.checkpoint_count += 1
+        self.last_checkpoint_lsn = self.wal.last_lsn
+        self.last_pages_flushed = flushed
+        return flushed

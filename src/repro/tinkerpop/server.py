@@ -1,0 +1,110 @@
+"""The Gremlin Server simulation.
+
+Clients do not speak to TinkerPop providers directly in the paper's
+architecture (Figure 2): traversals are submitted to the Gremlin Server,
+which evaluates them against the underlying graph and streams serialized
+results back.  That layer is where the paper locates the Gremlin overhead:
+
+* a websocket round trip per request (``server_rtt``),
+* script evaluation / traversal compilation (``gremlin_compile``),
+* GraphSON serialization per result element (``serialize_item``) and one
+  extra round trip per 64-element response batch,
+* a bounded worker pool; under many concurrent long-running traversals
+  the request queue fills and the server hangs, then crashes (Section
+  4.4) — the discrete-event harness drives that via
+  :attr:`worker_pool_size` / :attr:`queue_limit` / :attr:`crashed`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from repro.simclock.ledger import charge
+from repro.simclock.costmodel import CostModel
+from repro.simclock.ledger import Ledger, metered
+from repro.tinkerpop.structure import Graph, GraphProvider, GraphTraversalSource
+from repro.tinkerpop.traversal import (
+    StepBudgetExceeded,
+    Traversal,
+    cost_guard,
+    step_budget,
+)
+
+RESULT_BATCH_SIZE = 64
+
+
+class GremlinServerError(Exception):
+    """The server dropped the request (overload or crash)."""
+
+
+class GremlinServer:
+    """Serves one TinkerPop graph to many clients."""
+
+    def __init__(
+        self,
+        provider: GraphProvider,
+        *,
+        worker_pool_size: int = 8,
+        queue_limit: int = 128,
+        step_limit: int = 20_000_000,
+        request_timeout_us: float | None = 3_000_000.0,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        self.graph = Graph(provider)
+        self.provider = provider
+        self.worker_pool_size = worker_pool_size
+        self.queue_limit = queue_limit
+        self.step_limit = step_limit
+        self.request_timeout_us = request_timeout_us
+        self.cost_model = cost_model or CostModel()
+        self.crashed = False
+        self.requests_served = 0
+        self.requests_failed = 0
+        self.requests_timed_out = 0
+
+    def submit(
+        self, build: Callable[[GraphTraversalSource], Traversal]
+    ) -> list[Any]:
+        """One request/response cycle: compile, evaluate, serialize.
+
+        ``build`` receives the traversal source ``g`` and returns the
+        traversal to evaluate (standing in for a Gremlin script string).
+        """
+        if self.crashed:
+            self.requests_failed += 1
+            raise GremlinServerError("Gremlin Server has crashed")
+        charge("server_rtt")  # request framing + dispatch
+        charge("gremlin_compile")  # script evaluation / bytecode compilation
+        g = self.graph.traversal()
+        request_ledger = Ledger()
+        try:
+            with metered(request_ledger), step_budget(self.step_limit):
+                if self.request_timeout_us is not None:
+                    with cost_guard(
+                        request_ledger,
+                        self.cost_model,
+                        self.request_timeout_us,
+                    ):
+                        results = build(g).toList()
+                else:
+                    results = build(g).toList()
+        except StepBudgetExceeded:
+            self.requests_timed_out += 1
+            self.requests_failed += 1
+            raise GremlinServerError(
+                "request evaluation exceeded the server timeout"
+            ) from None
+        charge("serialize_item", len(results))
+        # response streaming: one round trip per batch
+        batches = max(1, -(-len(results) // RESULT_BATCH_SIZE))
+        charge("server_rtt", batches - 1)
+        self.requests_served += 1
+        return results
+
+    def crash(self) -> None:
+        """Driven by the concurrency harness on queue overflow."""
+        self.crashed = True
+
+    def restart(self) -> None:
+        self.crashed = False

@@ -1,0 +1,17 @@
+"""TitanDB: a TinkerPop graph layer over pluggable KV storage backends.
+
+Two configurations from the paper:
+
+* ``titan_cassandra()`` — Titan-C: LSM-tree backend run as a separate
+  process (every KV op pays ``backend_rtt``), no transactional isolation,
+  so uniqueness constraints need Titan's explicit distributed locking
+  (``lock_rtt`` per locked write).  Writes scale with concurrency;
+  point reads pay LSM read amplification.
+* ``titan_berkeley()``  — Titan-B: embedded B-tree backend, transactional
+  but with writer serialization (the mechanism behind its collapse under
+  concurrent load in the paper).
+"""
+
+from repro.titan.graph import TitanProvider, titan_berkeley, titan_cassandra
+
+__all__ = ["TitanProvider", "titan_cassandra", "titan_berkeley"]

@@ -1,0 +1,26 @@
+"""Transactions: lock manager and transaction lifecycle.
+
+Real execution in this reproduction is single-threaded (concurrency is
+simulated), so locks never *block* a Python thread; conflicting acquisition
+raises :class:`LockConflict`, and the discrete-event harness turns conflicts
+into simulated waiting.  The wait-for graph still detects genuine deadlocks
+between simulated clients.
+"""
+
+from repro.txn.locks import (
+    DeadlockError,
+    LockConflict,
+    LockManager,
+    LockMode,
+)
+from repro.txn.manager import Transaction, TransactionManager, TxnState
+
+__all__ = [
+    "LockMode",
+    "LockConflict",
+    "DeadlockError",
+    "LockManager",
+    "Transaction",
+    "TransactionManager",
+    "TxnState",
+]

@@ -1,0 +1,107 @@
+"""Tests for the benchmark harness: parameter curation and latency suites."""
+
+import math
+
+import pytest
+
+from repro.core import make_connector
+from repro.core.benchmark import (
+    MICRO_QUERIES,
+    LatencyBenchmark,
+    WorkloadParams,
+    dataset_statistics,
+)
+from repro.core.connectors.base import OperationFailed
+from repro.snb import GeneratorConfig, generate
+
+CONFIG = GeneratorConfig(scale_factor=3, scale_divisor=8000, seed=13)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate(CONFIG)
+
+
+class TestWorkloadParams:
+    def test_person_ids_have_friends(self, dataset):
+        params = WorkloadParams.curate(dataset, count=10, seed=2)
+        adjacency = set()
+        for knows in dataset.knows:
+            adjacency.add(knows.person1)
+            adjacency.add(knows.person2)
+        assert all(pid in adjacency for pid in params.person_ids)
+
+    def test_path_pairs_reachable_within_four(self, dataset):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_edges_from(
+            (k.person1, k.person2) for k in dataset.knows
+        )
+        params = WorkloadParams.curate(dataset, count=10, seed=2)
+        for a, b in params.path_pairs:
+            assert nx.has_path(graph, a, b)
+            assert 2 <= nx.shortest_path_length(graph, a, b) <= 3
+
+    def test_deterministic_for_seed(self, dataset):
+        a = WorkloadParams.curate(dataset, seed=9)
+        b = WorkloadParams.curate(dataset, seed=9)
+        assert a.person_ids == b.person_ids
+        assert a.path_pairs == b.path_pairs
+
+    def test_message_ids_are_posts(self, dataset):
+        params = WorkloadParams.curate(dataset, count=10, seed=2)
+        post_ids = {p.id for p in dataset.posts}
+        assert all(mid in post_ids for mid in params.message_ids)
+
+
+class TestLatencyBenchmark:
+    def test_run_returns_all_micro_queries(self, dataset):
+        connector = make_connector("postgres-sql")
+        connector.load(dataset)
+        bench = LatencyBenchmark(dataset, repetitions=5)
+        results = bench.run(connector)
+        assert set(results) == set(MICRO_QUERIES)
+        assert all(v > 0 for v in results.values())
+
+    def test_measure_counts_repetitions(self, dataset):
+        connector = make_connector("postgres-sql")
+        connector.load(dataset)
+        bench = LatencyBenchmark(dataset, repetitions=7)
+        recorder = bench.measure(connector, "point_lookup")
+        assert recorder.count == 7
+
+    def test_dnf_reported_as_nan(self, dataset):
+        connector = make_connector("postgres-sql")
+        connector.load(dataset)
+
+        def failing(*args):
+            raise OperationFailed("synthetic timeout")
+
+        connector.shortest_path = failing  # type: ignore[method-assign]
+        bench = LatencyBenchmark(dataset, repetitions=3)
+        results = bench.run(connector)
+        assert math.isnan(results["shortest_path"])
+        assert results["point_lookup"] > 0
+
+    def test_shortest_path_measured_on_pairs(self, dataset):
+        connector = make_connector("virtuoso-sql")
+        connector.load(dataset)
+        bench = LatencyBenchmark(dataset, repetitions=4)
+        recorder = bench.measure(connector, "shortest_path")
+        assert recorder.count == 4
+
+    def test_cheaper_query_is_cheaper(self, dataset):
+        connector = make_connector("postgres-sql")
+        connector.load(dataset)
+        bench = LatencyBenchmark(dataset, repetitions=10)
+        results = bench.run(connector)
+        assert results["point_lookup"] <= results["two_hop"]
+
+
+class TestDatasetStatistics:
+    def test_matches_dataset_counts(self, dataset):
+        stats = dataset_statistics(dataset)
+        assert stats["vertices"] == dataset.vertex_count()
+        assert stats["edges"] == dataset.edge_count()
+        assert stats["raw_bytes"] > 0

@@ -1,0 +1,123 @@
+"""Tests for metric collection and report rendering."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.metrics import LatencyRecorder, ThroughputWindow
+from repro.core.report import render_series, render_table
+
+
+class TestLatencyRecorder:
+    def test_empty_stats_are_nan(self):
+        recorder = LatencyRecorder()
+        assert math.isnan(recorder.mean())
+        assert math.isnan(recorder.percentile(50))
+        assert math.isnan(recorder.min())
+        assert recorder.count == 0
+
+    def test_mean_min_max(self):
+        recorder = LatencyRecorder()
+        for value in (1.0, 2.0, 3.0):
+            recorder.record(value)
+        assert recorder.mean() == pytest.approx(2.0)
+        assert recorder.min() == 1.0
+        assert recorder.max() == 3.0
+
+    def test_percentiles(self):
+        recorder = LatencyRecorder()
+        for value in range(1, 101):
+            recorder.record(float(value))
+        assert recorder.percentile(50) == 50.0
+        assert recorder.percentile(99) == 99.0
+        assert recorder.percentile(100) == 100.0
+        assert recorder.percentile(0) == 1.0
+
+    def test_percentile_bounds(self):
+        recorder = LatencyRecorder()
+        recorder.record(1.0)
+        with pytest.raises(ValueError):
+            recorder.percentile(101)
+
+    @given(st.lists(st.floats(0.001, 1e6), min_size=1, max_size=200))
+    def test_percentile_monotone(self, samples):
+        recorder = LatencyRecorder()
+        for value in samples:
+            recorder.record(value)
+        assert recorder.percentile(10) <= recorder.percentile(90)
+        eps = 1e-9 * max(1.0, recorder.max())  # float-summation slack
+        assert recorder.min() - eps <= recorder.mean() <= recorder.max() + eps
+
+
+class TestThroughputWindow:
+    def test_records_bucket_by_window(self):
+        window = ThroughputWindow(window_ms=100.0)
+        for at in (10, 20, 150, 250, 251):
+            window.record(at)
+        series = dict(window.series())
+        assert series[0.0] == pytest.approx(20.0)  # 2 ops in 0.1s
+        assert series[100.0] == pytest.approx(10.0)
+        assert series[200.0] == pytest.approx(20.0)
+
+    def test_empty_windows_reported_as_zero(self):
+        window = ThroughputWindow(window_ms=100.0)
+        window.record(10)
+        window.record(350)
+        series = window.series()
+        rates = [rate for _, rate in series]
+        assert rates[1] == 0.0 and rates[2] == 0.0
+
+    def test_total_and_mean_rate(self):
+        window = ThroughputWindow(window_ms=100.0)
+        for at in range(0, 1000, 10):
+            window.record(at)
+        assert window.total() == 100
+        assert window.mean_rate(1000.0) == pytest.approx(100.0)
+        assert window.mean_rate(0) == 0.0
+
+    def test_empty_series(self):
+        assert ThroughputWindow().series() == []
+
+
+class TestRenderTable:
+    def test_alignment_and_headers(self):
+        out = render_table(
+            "Title", ["name", "value"], [["alpha", 1.0], ["b", 123456.0]]
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Title"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len({len(line) for line in lines[1:]}) == 1  # aligned
+
+    def test_nan_renders_as_dnf_dash(self):
+        out = render_table("t", ["x"], [[float("nan")]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_none_renders_as_dash(self):
+        out = render_table("t", ["x"], [[None]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_float_formatting(self):
+        out = render_table("t", ["x"], [[0.123456], [12.3], [1234.5]])
+        assert "0.12" in out
+        assert "12.3" in out
+        assert "1,234" in out or "1234" in out
+
+    def test_empty_rows(self):
+        out = render_table("t", ["a", "b"], [])
+        assert "a" in out and "b" in out
+
+
+class TestRenderSeries:
+    def test_contains_legend_and_symbols(self):
+        out = render_series(
+            "chart",
+            {"sys-a": [(0, 10), (100, 20)], "sys-b": [(0, 5), (100, 15)]},
+        )
+        assert "sys-a" in out and "sys-b" in out
+        assert "o" in out
+
+    def test_empty_series(self):
+        assert "(no data)" in render_series("chart", {})

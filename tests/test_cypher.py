@@ -1,0 +1,267 @@
+"""Tests for the Cypher parser and executor through GraphDatabase."""
+
+import pytest
+
+from repro.graphdb import GraphDatabase
+from repro.graphdb.cypher import CypherParseError, parse
+from repro.graphdb.cypher import ast
+from repro.graphdb.cypher.executor import CypherRuntimeError
+
+
+class TestParser:
+    def test_match_return(self):
+        q = parse("MATCH (p:Person {id: $id}) RETURN p.name")
+        match = q.clauses[0]
+        node = match.patterns[0].nodes[0]
+        assert node.var == "p"
+        assert node.labels == ("Person",)
+        assert node.props[0][0] == "id"
+        assert q.returns.items[0].expr == ast.PropAccess("p", "name")
+
+    def test_directions(self):
+        q = parse("MATCH (a)-[:X]->(b)<-[:Y]-(c)-[:Z]-(d) RETURN a.id")
+        rels = q.clauses[0].patterns[0].rels
+        assert [r.direction for r in rels] == ["out", "in", "both"]
+
+    def test_var_length(self):
+        q = parse("MATCH (a)-[:KNOWS*1..2]-(b) RETURN b.id")
+        rel = q.clauses[0].patterns[0].rels[0]
+        assert (rel.min_hops, rel.max_hops) == (1, 2)
+
+    def test_var_length_unbounded(self):
+        q = parse("MATCH (a)-[:KNOWS*]-(b) RETURN b.id")
+        rel = q.clauses[0].patterns[0].rels[0]
+        assert (rel.min_hops, rel.max_hops) == (1, -1)
+
+    def test_var_length_exact(self):
+        q = parse("MATCH (a)-[:KNOWS*2]-(b) RETURN b.id")
+        rel = q.clauses[0].patterns[0].rels[0]
+        assert (rel.min_hops, rel.max_hops) == (2, 2)
+
+    def test_shortest_path(self):
+        q = parse(
+            "MATCH p = shortestPath((a:Person {id:$a})-[:KNOWS*]-"
+            "(b:Person {id:$b})) RETURN length(p)"
+        )
+        pattern = q.clauses[0].patterns[0]
+        assert pattern.shortest
+        assert pattern.assign_var == "p"
+
+    def test_create(self):
+        q = parse("CREATE (p:Person {id: 1, name: 'bob'})")
+        assert q.returns is None
+        node = q.clauses[0].patterns[0].nodes[0]
+        assert dict(node.props)["name"] == ast.Literal("bob")
+
+    def test_match_create(self):
+        q = parse(
+            "MATCH (a:Person {id:$a}), (b:Person {id:$b}) "
+            "CREATE (a)-[:KNOWS {since: $d}]->(b)"
+        )
+        assert len(q.clauses) == 2
+
+    def test_return_modifiers(self):
+        q = parse(
+            "MATCH (p:Person) RETURN DISTINCT p.name AS name "
+            "ORDER BY name DESC LIMIT 3"
+        )
+        assert q.returns.distinct
+        assert q.returns.limit == 3
+        assert q.returns.order_by[0].descending
+
+    def test_count_star(self):
+        q = parse("MATCH (p:Person) RETURN count(*)")
+        assert q.returns.items[0].expr.star
+
+    def test_where_comparison(self):
+        q = parse("MATCH (p:Person) WHERE p.age >= 18 AND p.id <> $me RETURN p.id")
+        assert q.clauses[0].where.op == "AND"
+
+    def test_empty_rejected(self):
+        with pytest.raises(CypherParseError):
+            parse("")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(CypherParseError):
+            parse("MATCH (p RETURN p")
+
+
+@pytest.fixture()
+def db():
+    g = GraphDatabase()
+    g.create_index("Person", "id")
+    g.create_index("Post", "id")
+    people = {
+        1: "alice", 2: "bob", 3: "carol", 4: "dave", 5: "erin", 7: "zed",
+    }
+    for pid, name in people.items():
+        g.execute(
+            "CREATE (p:Person {id: $id, name: $name, age: $age})",
+            {"id": pid, "name": name, "age": 20 + pid},
+        )
+    for a, b, since in [(1, 2, 2010), (2, 3, 2011), (3, 4, 2012), (1, 5, 2013)]:
+        g.execute(
+            "MATCH (a:Person {id:$a}), (b:Person {id:$b}) "
+            "CREATE (a)-[:KNOWS {since: $since}]->(b)",
+            {"a": a, "b": b, "since": since},
+        )
+    g.execute(
+        "MATCH (p:Person {id: 2}) CREATE (m:Post {id: 100, content: 'hi'})"
+        "-[:HAS_CREATOR]->(p)"
+    )
+    return g
+
+
+class TestExecutor:
+    def test_point_lookup(self, db):
+        rows = db.execute(
+            "MATCH (p:Person {id: $id}) RETURN p.name, p.age", {"id": 3}
+        )
+        assert rows == [("carol", 23)]
+
+    def test_lookup_missing(self, db):
+        assert db.execute(
+            "MATCH (p:Person {id: $id}) RETURN p.name", {"id": 999}
+        ) == []
+
+    def test_one_hop_both_directions(self, db):
+        rows = db.execute(
+            "MATCH (p:Person {id: $id})-[:KNOWS]-(f:Person) "
+            "RETURN f.name ORDER BY f.name",
+            {"id": 1},
+        )
+        assert rows == [("bob",), ("erin",)]
+
+    def test_one_hop_directed(self, db):
+        rows = db.execute(
+            "MATCH (p:Person {id: $id})-[:KNOWS]->(f:Person) RETURN f.name",
+            {"id": 2},
+        )
+        assert rows == [("carol",)]
+
+    def test_two_hop_distinct(self, db):
+        rows = db.execute(
+            "MATCH (p:Person {id: $id})-[:KNOWS]-(f)-[:KNOWS]-(fof:Person) "
+            "WHERE fof.id <> $id RETURN DISTINCT fof.name",
+            {"id": 1},
+        )
+        assert sorted(rows) == [("carol",)]
+
+    def test_var_length_two_hops(self, db):
+        rows = db.execute(
+            "MATCH (p:Person {id: $id})-[:KNOWS*1..2]-(f:Person) "
+            "WHERE f.id <> $id RETURN DISTINCT f.name ORDER BY f.name",
+            {"id": 1},
+        )
+        assert rows == [("bob",), ("carol",), ("erin",)]
+
+    def test_rel_property_access(self, db):
+        rows = db.execute(
+            "MATCH (a:Person {id:1})-[k:KNOWS]-(b:Person {id:2}) "
+            "RETURN k.since"
+        )
+        assert rows == [(2010,)]
+
+    def test_rel_property_filter(self, db):
+        rows = db.execute(
+            "MATCH (a:Person {id:1})-[k:KNOWS]-(f) WHERE k.since > 2012 "
+            "RETURN f.name"
+        )
+        assert rows == [("erin",)]
+
+    def test_shortest_path_length(self, db):
+        rows = db.execute(
+            "MATCH p = shortestPath((a:Person {id:$a})-[:KNOWS*]-"
+            "(b:Person {id:$b})) RETURN length(p)",
+            {"a": 1, "b": 4},
+        )
+        assert rows == [(3,)]
+
+    def test_shortest_path_unreachable(self, db):
+        rows = db.execute(
+            "MATCH p = shortestPath((a:Person {id:$a})-[:KNOWS*]-"
+            "(b:Person {id:$b})) RETURN length(p)",
+            {"a": 1, "b": 7},
+        )
+        assert rows == []
+
+    def test_shortest_path_same_node(self, db):
+        rows = db.execute(
+            "MATCH p = shortestPath((a:Person {id:1})-[:KNOWS*]-"
+            "(b:Person {id:1})) RETURN length(p)"
+        )
+        assert rows == [(0,)]
+
+    def test_count_aggregate(self, db):
+        rows = db.execute("MATCH (p:Person) RETURN count(*)")
+        assert rows == [(6,)]
+
+    def test_implicit_grouping(self, db):
+        db.execute(
+            "MATCH (p:Person {id: 3}) CREATE (m:Post {id: 101})"
+            "-[:HAS_CREATOR]->(p)"
+        )
+        rows = db.execute(
+            "MATCH (m:Post)-[:HAS_CREATOR]->(p:Person) "
+            "RETURN p.name, count(*) AS posts ORDER BY posts DESC, p.name"
+        )
+        assert rows == [("bob", 1), ("carol", 1)]
+
+    def test_min_max(self, db):
+        rows = db.execute("MATCH (p:Person) RETURN min(p.age), max(p.age)")
+        assert rows == [(21, 27)]
+
+    def test_create_node_visible(self, db):
+        db.execute("CREATE (p:Person {id: 50, name: 'new'})")
+        rows = db.execute("MATCH (p:Person {id: 50}) RETURN p.name")
+        assert rows == [("new",)]
+
+    def test_create_rel_between_matched(self, db):
+        db.execute(
+            "MATCH (a:Person {id:4}), (b:Person {id:5}) "
+            "CREATE (a)-[:KNOWS {since: 2020}]->(b)"
+        )
+        rows = db.execute(
+            "MATCH (a:Person {id:4})-[:KNOWS]-(f) RETURN f.name ORDER BY f.name"
+        )
+        assert rows == [("carol",), ("erin",)]
+
+    def test_set_property(self, db):
+        db.execute(
+            "MATCH (p:Person {id: 1}) SET p.age = 99", {}
+        )
+        assert db.execute("MATCH (p:Person {id:1}) RETURN p.age") == [(99,)]
+
+    def test_optional_match(self, db):
+        rows = db.execute(
+            "MATCH (p:Person {id: 7}) "
+            "OPTIONAL MATCH (p)-[:KNOWS]-(f:Person) RETURN p.name, f.name"
+        )
+        assert rows == [("zed", None)]
+
+    def test_cartesian_match(self, db):
+        rows = db.execute(
+            "MATCH (a:Person {id:1}), (b:Person {id:2}) RETURN a.name, b.name"
+        )
+        assert rows == [("alice", "bob")]
+
+    def test_statement_cache(self, db):
+        before = db.statements_executed
+        db.execute("MATCH (p:Person {id:1}) RETURN p.name")
+        db.execute("MATCH (p:Person {id:1}) RETURN p.name")
+        assert db.statements_executed == before + 2
+        assert len(db._stmt_cache) >= 1
+
+    def test_missing_param_rejected(self, db):
+        with pytest.raises(CypherRuntimeError):
+            db.execute("MATCH (p:Person {id: $nope}) RETURN p.name", {})
+
+    def test_wal_and_dirty_tracking(self, db):
+        dirty_before = db.dirty_records
+        fsync_before = db.wal.fsync_count
+        db.execute("CREATE (p:Person {id: 60, name: 'w'})")
+        assert db.dirty_records == dirty_before + 1
+        assert db.wal.fsync_count == fsync_before + 1
+        flushed = db.checkpoint()
+        assert flushed == dirty_before + 1
+        assert db.dirty_records == 0

@@ -1,0 +1,146 @@
+"""Additional Cypher engine coverage: writes, functions, aggregation."""
+
+import pytest
+
+from repro.graphdb import GraphDatabase
+from repro.graphdb.cypher.executor import CypherRuntimeError
+
+
+@pytest.fixture()
+def db():
+    g = GraphDatabase()
+    g.create_index("City", "name")
+    for name, country in [
+        ("waterloo", "ca"), ("toronto", "ca"), ("berlin", "de"),
+    ]:
+        g.execute(
+            "CREATE (c:City {name: $n, country: $co})",
+            {"n": name, "co": country},
+        )
+    g.execute(
+        "MATCH (a:City {name: 'waterloo'}), (b:City {name: 'toronto'}) "
+        "CREATE (a)-[:ROAD {km: 110}]->(b)"
+    )
+    return g
+
+
+class TestFunctions:
+    def test_id_function(self, db):
+        rows = db.execute("MATCH (c:City {name: 'waterloo'}) RETURN id(c)")
+        assert isinstance(rows[0][0], int)
+
+    def test_labels_function(self, db):
+        rows = db.execute(
+            "MATCH (c:City {name: 'berlin'}) RETURN labels(c)"
+        )
+        assert tuple(rows[0][0]) == ("City",)
+
+    def test_length_requires_path(self, db):
+        with pytest.raises(CypherRuntimeError):
+            db.execute("MATCH (c:City {name: 'berlin'}) RETURN length(c)")
+
+    def test_unknown_function(self, db):
+        with pytest.raises(CypherRuntimeError):
+            db.execute("MATCH (c:City) RETURN sqrt(c.km)")
+
+
+class TestAggregation:
+    def test_count_distinct(self, db):
+        rows = db.execute(
+            "MATCH (c:City) RETURN count(DISTINCT c.country)"
+        )
+        assert rows == [(2,)]
+
+    def test_collect(self, db):
+        rows = db.execute(
+            "MATCH (c:City) WHERE c.country = 'ca' "
+            "RETURN collect(c.name)"
+        )
+        assert sorted(rows[0][0]) == ["toronto", "waterloo"]
+
+    def test_grouped_avg(self, db):
+        db.execute(
+            "MATCH (a:City {name: 'toronto'}), (b:City {name: 'berlin'}) "
+            "CREATE (a)-[:ROAD {km: 6500}]->(b)"
+        )
+        rows = db.execute(
+            "MATCH (:City)-[r:ROAD]->(:City) RETURN avg(r.km)"
+        )
+        assert rows == [((110 + 6500) / 2,)]
+
+    def test_empty_global_aggregate(self, db):
+        rows = db.execute("MATCH (x:Ghost) RETURN count(*)")
+        assert rows == [(0,)]
+
+
+class TestWrites:
+    def test_set_then_read(self, db):
+        db.execute(
+            "MATCH (c:City {name: 'berlin'}) SET c.population = 3600000"
+        )
+        rows = db.execute(
+            "MATCH (c:City {name: 'berlin'}) RETURN c.population"
+        )
+        assert rows == [(3600000,)]
+
+    def test_set_indexed_property_repoints_index(self, db):
+        db.execute("MATCH (c:City {name: 'berlin'}) SET c.name = 'bonn'")
+        assert db.execute("MATCH (c:City {name: 'berlin'}) RETURN c.name") == []
+        assert db.execute(
+            "MATCH (c:City {name: 'bonn'}) RETURN c.country"
+        ) == [("de",)]
+
+    def test_create_undirected_rel_rejected(self, db):
+        with pytest.raises(CypherRuntimeError):
+            db.execute(
+                "MATCH (a:City {name: 'waterloo'}), (b:City {name: 'berlin'}) "
+                "CREATE (a)-[:ROAD]-(b)"
+            )
+
+    def test_create_chain_pattern(self, db):
+        db.execute(
+            "CREATE (x:City {name: 'ulm'})-[:ROAD {km: 1}]->"
+            "(y:City {name: 'augsburg'})"
+        )
+        rows = db.execute(
+            "MATCH (x:City {name: 'ulm'})-[:ROAD]->(y:City) RETURN y.name"
+        )
+        assert rows == [("augsburg",)]
+
+
+class TestPatterns:
+    def test_var_length_exact_two(self, db):
+        db.execute(
+            "MATCH (a:City {name: 'toronto'}), (b:City {name: 'berlin'}) "
+            "CREATE (a)-[:ROAD {km: 6500}]->(b)"
+        )
+        rows = db.execute(
+            "MATCH (a:City {name: 'waterloo'})-[:ROAD*2]->(c:City) "
+            "RETURN c.name"
+        )
+        assert rows == [("berlin",)]
+
+    def test_incoming_direction(self, db):
+        rows = db.execute(
+            "MATCH (b:City {name: 'toronto'})<-[:ROAD]-(a:City) "
+            "RETURN a.name"
+        )
+        assert rows == [("waterloo",)]
+
+    def test_where_on_rel_var(self, db):
+        rows = db.execute(
+            "MATCH (a:City)-[r:ROAD]->(b:City) WHERE r.km < 200 "
+            "RETURN a.name, b.name"
+        )
+        assert rows == [("waterloo", "toronto")]
+
+    def test_node_equality_in_where(self, db):
+        rows = db.execute(
+            "MATCH (a:City), (b:City) WHERE a = b RETURN count(*)"
+        )
+        assert rows == [(3,)]
+
+    def test_multiple_label_filter(self, db):
+        db.execute("CREATE (m:City:Capital {name: 'ottawa', country: 'ca'})")
+        rows = db.execute("MATCH (c:Capital) RETURN c.name")
+        assert rows == [("ottawa",)]

@@ -1,0 +1,194 @@
+"""Tests for the workload driver: mix, scheduler, loaders, and the
+interactive runner."""
+
+import pytest
+
+from repro.core import make_connector
+from repro.core.benchmark import WorkloadParams
+from repro.driver import (
+    DependencyScheduler,
+    InteractiveConfig,
+    InteractiveWorkloadRunner,
+    QueryMix,
+    concurrent_load,
+    sequential_load,
+)
+from repro.driver.workload import FULL_MIX, REDUCED_MIX
+from repro.snb import GeneratorConfig, generate
+
+CONFIG = GeneratorConfig(scale_factor=3, scale_divisor=8000, seed=13)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate(CONFIG)
+
+
+@pytest.fixture(scope="module")
+def params(dataset):
+    return WorkloadParams.curate(dataset, count=8, seed=3)
+
+
+class TestQueryMix:
+    def test_draw_produces_known_ops(self, params):
+        mix = QueryMix(params)
+        names = {op for op, _ in REDUCED_MIX}
+        for _ in range(100):
+            assert mix.draw().name in names
+
+    def test_reduced_mix_has_no_shortest_path(self):
+        assert "shortest_path" not in {op for op, _ in REDUCED_MIX}
+        assert "shortest_path" in {op for op, _ in FULL_MIX}
+
+    def test_draw_is_deterministic_per_seed(self, params):
+        a = [QueryMix(params, seed=5).draw().name for _ in range(20)]
+        b = [QueryMix(params, seed=5).draw().name for _ in range(20)]
+        assert a == b
+
+    def test_ops_execute_against_connector(self, dataset, params):
+        connector = make_connector("postgres-sql")
+        connector.load(dataset)
+        mix = QueryMix(params)
+        for _ in range(20):
+            mix.draw().execute(connector)  # must not raise
+
+
+class TestDependencyScheduler:
+    def test_schedule_monotonic(self, dataset):
+        scheduler = DependencyScheduler(dataset.updates[:200])
+        times = [s.due_ms for s in scheduler.schedule()]
+        assert times == sorted(times)
+
+    def test_dependencies_respected(self, dataset):
+        scheduler = DependencyScheduler(dataset.updates[:500])
+        assert scheduler.verify_dependencies()
+
+    def test_compression_scales_times(self, dataset):
+        slow = DependencyScheduler(dataset.updates[:100], compression=1000)
+        fast = DependencyScheduler(dataset.updates[:100], compression=100000)
+        slow_last = list(slow.schedule())[-1].due_ms
+        fast_last = list(fast.schedule())[-1].due_ms
+        assert slow_last > fast_last
+
+    def test_empty_stream(self):
+        scheduler = DependencyScheduler([])
+        assert list(scheduler.schedule()) == []
+        assert scheduler.verify_dependencies()
+
+    def test_invalid_compression(self, dataset):
+        with pytest.raises(ValueError):
+            DependencyScheduler(dataset.updates[:2], compression=0)
+
+
+class TestSequentialLoad:
+    def test_reports_counts_and_rates(self, dataset):
+        connector = make_connector("titan-b")
+        report = sequential_load(connector.provider, dataset)
+        assert report.vertices == dataset.vertex_count()
+        assert report.edges > 0
+        assert report.vertices_per_second > 0
+        assert report.edges_per_second > 0
+        assert report.total_minutes > 0
+
+    def test_neo4j_fastest_single_loader(self, dataset):
+        """Table 4 shape: Neo4j has the best single-loader rates and Sqlg
+        the worst edge rate."""
+        rates = {}
+        for key in ("neo4j-gremlin", "titan-c", "titan-b", "sqlg"):
+            connector = make_connector(key)
+            report = sequential_load(connector.provider, dataset)
+            rates[key] = (
+                report.vertices_per_second, report.edges_per_second
+            )
+        assert rates["neo4j-gremlin"][1] == max(r[1] for r in rates.values())
+        assert rates["sqlg"][1] == min(r[1] for r in rates.values())
+        # Titan-C pays Cassandra round trips: slower edges than Titan-B
+        assert rates["titan-c"][1] < rates["titan-b"][1]
+
+
+class TestConcurrentLoad:
+    def test_titan_c_scales_with_loaders(self, dataset):
+        one = concurrent_load(
+            make_connector("titan-c").provider, dataset, loaders=1
+        )
+        eight = concurrent_load(
+            make_connector("titan-c").provider, dataset, loaders=8
+        )
+        assert eight.edges_per_second > 3 * one.edges_per_second
+
+    def test_titan_b_does_not_scale(self, dataset):
+        one = concurrent_load(
+            make_connector("titan-b").provider, dataset, loaders=1
+        )
+        eight = concurrent_load(
+            make_connector("titan-b").provider, dataset, loaders=8
+        )
+        assert eight.edges_per_second < 1.5 * one.edges_per_second
+
+    def test_sqlg_scales_sublinearly(self, dataset):
+        one = concurrent_load(
+            make_connector("sqlg").provider, dataset, loaders=1
+        )
+        eight = concurrent_load(
+            make_connector("sqlg").provider, dataset, loaders=8
+        )
+        speedup = eight.edges_per_second / one.edges_per_second
+        assert speedup < 4.0
+
+    def test_loader_count_validation(self, dataset):
+        with pytest.raises(ValueError):
+            concurrent_load(
+                make_connector("titan-c").provider, dataset, loaders=0
+            )
+
+
+class TestInteractiveRunner:
+    @pytest.fixture(scope="class")
+    def small_config(self):
+        return InteractiveConfig(
+            readers=8, duration_ms=300.0, window_ms=50.0, seed=5
+        )
+
+    def _run(self, key, dataset, config):
+        connector = make_connector(key)
+        connector.load(dataset)
+        return InteractiveWorkloadRunner(connector, dataset, config).run()
+
+    def test_postgres_runs_and_reports(self, dataset, small_config):
+        result = self._run("postgres-sql", dataset, small_config)
+        assert result.read_windows.total() > 0
+        assert result.updates_applied > 0
+        assert result.read_throughput > 0
+        assert result.write_throughput > 0
+        assert not result.server_crashed
+
+    def test_read_and_write_series_nonempty(self, dataset, small_config):
+        result = self._run("postgres-sql", dataset, small_config)
+        assert len(result.read_windows.series()) > 1
+        assert result.read_latency.count == result.read_windows.total()
+
+    def test_gremlin_slower_than_sql(self, dataset, small_config):
+        sql = self._run("postgres-sql", dataset, small_config)
+        gremlin = self._run("neo4j-gremlin", dataset, small_config)
+        assert sql.read_throughput > 3 * gremlin.read_throughput
+
+    def test_titan_b_collapses(self, dataset, small_config):
+        titan_c = self._run("titan-c", dataset, small_config)
+        titan_b = self._run("titan-b", dataset, small_config)
+        # serialized store latch: far lower read throughput than Titan-C
+        assert titan_b.read_throughput < titan_c.read_throughput
+
+    def test_neo4j_checkpoint_dips(self, dataset):
+        config = InteractiveConfig(
+            readers=8,
+            duration_ms=1_000.0,
+            window_ms=50.0,
+            checkpoint_interval_ms=200.0,
+            checkpoint_stall_us_per_record=3_000.0,
+        )
+        result = self._run("neo4j-cypher", dataset, config)
+        series = [rate for _, rate in result.write_windows.series()]
+        assert result.updates_applied > 0
+        peak = max(series)
+        trough = min(series[1:-1]) if len(series) > 2 else min(series)
+        assert trough < peak * 0.5  # visible dips

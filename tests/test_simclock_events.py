@@ -1,0 +1,184 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.simclock import Acquire, Join, Release, Resource, Simulator, Timeout
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(1000.0)
+        return sim.now_us
+
+    p = sim.spawn(proc())
+    sim.run()
+    assert p.finished
+    assert p.result == pytest.approx(1000.0)
+
+
+def test_processes_interleave_deterministically():
+    sim = Simulator()
+    order = []
+
+    def proc(name, delay):
+        yield Timeout(delay)
+        order.append(name)
+
+    sim.spawn(proc("slow", 200.0))
+    sim.spawn(proc("fast", 100.0))
+    sim.spawn(proc("tie-a", 150.0))
+    sim.spawn(proc("tie-b", 150.0))
+    sim.run()
+    # ties broken by spawn order
+    assert order == ["fast", "tie-a", "tie-b", "slow"]
+
+
+def test_resource_serializes_holders():
+    sim = Simulator()
+    latch = Resource(capacity=1, name="latch")
+    spans = []
+
+    def proc(name):
+        yield Acquire(latch)
+        start = sim.now_us
+        yield Timeout(100.0)
+        yield Release(latch)
+        spans.append((name, start, start + 100.0))
+
+    for i in range(3):
+        sim.spawn(proc(i))
+    sim.run()
+    # non-overlapping, FIFO order
+    assert [name for name, *_ in spans] == [0, 1, 2]
+    for (_, _, end_prev), (_, start_next, _) in zip(spans, spans[1:]):
+        assert start_next >= end_prev
+
+
+def test_resource_capacity_allows_parallelism():
+    sim = Simulator()
+    pool = Resource(capacity=2, name="pool")
+
+    def proc():
+        yield Acquire(pool)
+        yield Timeout(100.0)
+        yield Release(pool)
+
+    for _ in range(4):
+        sim.spawn(proc())
+    end = sim.run()
+    # 4 jobs of 100us on 2 servers -> 200us
+    assert end == pytest.approx(200.0)
+
+
+def test_resource_tracks_wait_time():
+    sim = Simulator()
+    latch = Resource(capacity=1)
+
+    def proc():
+        yield Acquire(latch)
+        yield Timeout(50.0)
+        yield Release(latch)
+
+    for _ in range(2):
+        sim.spawn(proc())
+    sim.run()
+    assert latch.total_acquisitions == 2
+    assert latch.total_wait_us == pytest.approx(50.0)
+    assert latch.mean_wait_us == pytest.approx(25.0)
+
+
+def test_release_of_idle_resource_raises():
+    sim = Simulator()
+    latch = Resource(capacity=1)
+
+    def proc():
+        yield Release(latch)
+
+    sim.spawn(proc())
+    with pytest.raises(RuntimeError, match="idle resource"):
+        sim.run()
+
+
+def test_join_returns_result():
+    sim = Simulator()
+
+    def worker():
+        yield Timeout(500.0)
+        return 42
+
+    def waiter(target):
+        value = yield Join(target)
+        return (value, sim.now_us)
+
+    w = sim.spawn(worker())
+    j = sim.spawn(waiter(w))
+    sim.run()
+    assert j.result == (42, pytest.approx(500.0))
+
+
+def test_join_on_finished_process_is_immediate():
+    sim = Simulator()
+
+    def worker():
+        yield Timeout(10.0)
+        return "done"
+
+    w = sim.spawn(worker())
+    sim.run()
+
+    def waiter():
+        value = yield Join(w)
+        return value
+
+    j = sim.spawn(waiter())
+    sim.run()
+    assert j.result == "done"
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(10_000.0)
+
+    sim.spawn(proc())
+    end = sim.run(until_us=100.0)
+    assert end == pytest.approx(100.0)
+
+
+def test_process_error_propagates():
+    sim = Simulator()
+
+    def bad():
+        yield Timeout(1.0)
+        raise ValueError("kaput")
+
+    sim.spawn(bad(), name="bad")
+    with pytest.raises(RuntimeError, match="bad"):
+        sim.run()
+
+
+def test_unsupported_command_rejected():
+    sim = Simulator()
+
+    def proc():
+        yield "what is this"
+
+    sim.spawn(proc())
+    with pytest.raises(TypeError, match="unsupported command"):
+        sim.run()
+
+
+def test_live_process_count():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(1.0)
+
+    sim.spawn(proc())
+    sim.spawn(proc())
+    assert sim.live_processes == 2
+    sim.run()
+    assert sim.live_processes == 0

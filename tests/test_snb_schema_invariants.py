@@ -1,0 +1,123 @@
+"""Schema-level invariants of the generated dataset and id spaces."""
+
+import pytest
+
+from repro.snb import GeneratorConfig, UpdateKind, generate
+from repro.snb.schema import (
+    Comment,
+    Forum,
+    ForumMembership,
+    Knows,
+    Like,
+    Person,
+    Post,
+    FORUM_ID_BASE,
+    MESSAGE_ID_BASE,
+    PERSON_ID_BASE,
+)
+
+CONFIG = GeneratorConfig(scale_factor=3, scale_divisor=8000, seed=21)
+
+#: which payload type each update kind must carry
+KIND_PAYLOADS = {
+    UpdateKind.ADD_PERSON: Person,
+    UpdateKind.ADD_FRIENDSHIP: Knows,
+    UpdateKind.ADD_FORUM: Forum,
+    UpdateKind.ADD_FORUM_MEMBERSHIP: ForumMembership,
+    UpdateKind.ADD_POST: Post,
+    UpdateKind.ADD_COMMENT: Comment,
+    UpdateKind.ADD_POST_LIKE: Like,
+    UpdateKind.ADD_COMMENT_LIKE: Like,
+}
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate(CONFIG)
+
+
+class TestIdSpaces:
+    def test_person_ids_in_range(self, dataset):
+        for person in dataset.persons:
+            assert PERSON_ID_BASE <= person.id < FORUM_ID_BASE
+
+    def test_forum_ids_in_range(self, dataset):
+        for forum in dataset.forums:
+            assert FORUM_ID_BASE <= forum.id < MESSAGE_ID_BASE
+
+    def test_message_id_space_shared(self, dataset):
+        """Posts and comments share one id space with no collisions."""
+        ids = dataset.message_ids()
+        assert len(ids) == len(set(ids))
+        assert all(i > MESSAGE_ID_BASE for i in ids)
+
+    def test_no_duplicate_entity_ids(self, dataset):
+        all_ids = (
+            [p.id for p in dataset.persons]
+            + [f.id for f in dataset.forums]
+            + dataset.message_ids()
+            + [t.id for t in dataset.tags]
+            + [p.id for p in dataset.places]
+            + [o.id for o in dataset.organisations]
+        )
+        assert len(all_ids) == len(set(all_ids))
+
+
+class TestUpdatePayloads:
+    def test_every_kind_has_correct_payload_type(self, dataset):
+        for event in dataset.updates:
+            assert isinstance(event.payload, KIND_PAYLOADS[event.kind]), (
+                event.kind
+            )
+
+    def test_like_kinds_discriminate_posts_and_comments(self, dataset):
+        post_ids = {p.id for p in dataset.posts} | {
+            e.payload.id
+            for e in dataset.updates
+            if e.kind is UpdateKind.ADD_POST
+        }
+        for event in dataset.updates:
+            if event.kind is UpdateKind.ADD_POST_LIKE:
+                assert event.payload.message in post_ids
+            elif event.kind is UpdateKind.ADD_COMMENT_LIKE:
+                assert event.payload.message not in post_ids
+
+
+class TestReferentialIntegrity:
+    def test_memberships_reference_forums_and_persons(self, dataset):
+        forum_ids = {f.id for f in dataset.forums}
+        person_ids = {p.id for p in dataset.persons}
+        for m in dataset.memberships:
+            assert m.forum in forum_ids
+            assert m.person in person_ids
+
+    def test_posts_reference_known_creators(self, dataset):
+        person_ids = {p.id for p in dataset.persons}
+        for post in dataset.posts:
+            assert post.creator in person_ids
+
+    def test_comment_roots_are_posts(self, dataset):
+        post_ids = {p.id for p in dataset.posts} | {
+            e.payload.id
+            for e in dataset.updates
+            if e.kind is UpdateKind.ADD_POST
+        }
+        for comment in dataset.comments:
+            assert comment.root_post in post_ids
+
+    def test_interests_reference_tags(self, dataset):
+        tag_ids = {t.id for t in dataset.tags}
+        for person in dataset.persons:
+            assert set(person.interests) <= tag_ids
+
+    def test_person_city_is_a_city(self, dataset):
+        cities = {p.id for p in dataset.places if p.kind == "city"}
+        for person in dataset.persons:
+            assert person.city in cities
+
+    def test_message_countries_are_countries(self, dataset):
+        countries = {p.id for p in dataset.places if p.kind == "country"}
+        for post in dataset.posts:
+            assert post.country in countries
+        for comment in dataset.comments:
+            assert comment.country in countries

@@ -1,0 +1,216 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.relational.sql import SqlLexError, SqlParseError, parse, tokenize
+from repro.relational.sql import ast
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT select SeLeCt")
+        assert [t.value for t in tokens[:-1]] == ["select"] * 3
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("Person_Name")
+        assert tokens[0].kind == "ident"
+        assert tokens[0].value == "Person_Name"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.5")
+        assert tokens[0].value == 42 and isinstance(tokens[0].value, int)
+        assert tokens[1].value == 3.5 and isinstance(tokens[1].value, float)
+
+    def test_strings_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlLexError):
+            tokenize("'oops")
+
+    def test_operators(self):
+        tokens = tokenize("= <> != <= >= < >")
+        values = [t.value for t in tokens[:-1]]
+        assert values == ["=", "<>", "<>", "<=", ">=", "<", ">"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("select -- the rest\n 1")
+        assert [t.kind for t in tokens] == ["keyword", "number", "eof"]
+
+    def test_params(self):
+        tokens = tokenize("? ?")
+        assert [t.kind for t in tokens[:-1]] == ["param", "param"]
+
+    def test_unknown_character(self):
+        with pytest.raises(SqlLexError):
+            tokenize("select @")
+
+
+class TestParser:
+    def test_simple_select(self):
+        stmt = parse("SELECT name FROM person")
+        assert isinstance(stmt, ast.Select)
+        assert stmt.from_table.name == "person"
+        assert stmt.items[0].expr == ast.ColumnRef(None, "name")
+
+    def test_select_star(self):
+        stmt = parse("SELECT * FROM person")
+        assert stmt.items[0].expr == ast.ColumnRef(None, "*")
+
+    def test_qualified_star(self):
+        stmt = parse("SELECT p.* FROM person p")
+        assert stmt.items[0].expr == ast.ColumnRef("p", "*")
+
+    def test_where_params(self):
+        stmt = parse("SELECT id FROM person WHERE id = ? AND age > ?")
+        params = []
+
+        def collect(e):
+            if isinstance(e, ast.Param):
+                params.append(e.index)
+            elif isinstance(e, ast.BinaryOp):
+                collect(e.left)
+                collect(e.right)
+
+        collect(stmt.where)
+        assert params == [0, 1]
+
+    def test_join_parsing(self):
+        stmt = parse(
+            "SELECT p.name FROM person p "
+            "JOIN knows k ON k.p1 = p.id "
+            "LEFT JOIN city c ON c.id = p.city"
+        )
+        assert len(stmt.joins) == 2
+        assert stmt.joins[0].kind == "inner"
+        assert stmt.joins[1].kind == "left"
+        assert stmt.joins[1].table.binding == "c"
+
+    def test_inner_join_keyword(self):
+        stmt = parse("SELECT a.x FROM t a INNER JOIN u b ON a.x = b.x")
+        assert stmt.joins[0].kind == "inner"
+
+    def test_order_limit(self):
+        stmt = parse("SELECT id FROM t ORDER BY id DESC, name ASC LIMIT 10")
+        assert stmt.limit == 10
+        assert stmt.order_by[0].descending
+        assert not stmt.order_by[1].descending
+
+    def test_group_by_count(self):
+        stmt = parse("SELECT city, COUNT(*) AS n FROM p GROUP BY city")
+        assert stmt.group_by == (ast.ColumnRef(None, "city"),)
+        assert stmt.items[1].expr.star
+        assert stmt.items[1].alias == "n"
+
+    def test_count_distinct(self):
+        stmt = parse("SELECT COUNT(DISTINCT city) FROM p")
+        assert stmt.items[0].expr.distinct
+
+    def test_in_list(self):
+        stmt = parse("SELECT id FROM t WHERE id IN (1, 2, 3)")
+        assert isinstance(stmt.where, ast.InList)
+        assert len(stmt.where.items) == 3
+
+    def test_not_in(self):
+        stmt = parse("SELECT id FROM t WHERE id NOT IN (1)")
+        assert stmt.where.negated
+
+    def test_is_null(self):
+        stmt = parse("SELECT id FROM t WHERE x IS NULL AND y IS NOT NULL")
+        left, right = stmt.where.left, stmt.where.right
+        assert isinstance(left, ast.IsNull) and not left.negated
+        assert isinstance(right, ast.IsNull) and right.negated
+
+    def test_precedence_or_and(self):
+        stmt = parse("SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert stmt.where.op == "OR"
+        assert stmt.where.right.op == "AND"
+
+    def test_arithmetic_precedence(self):
+        stmt = parse("SELECT 1 + 2 * 3 FROM t")
+        expr = stmt.items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_unary_minus(self):
+        stmt = parse("SELECT -x FROM t")
+        assert isinstance(stmt.items[0].expr, ast.UnaryOp)
+
+    def test_insert(self):
+        stmt = parse("INSERT INTO person VALUES (?, 'bob', NULL, TRUE)")
+        assert isinstance(stmt, ast.Insert)
+        assert stmt.values[1] == ast.Literal("bob")
+        assert stmt.values[2] == ast.Literal(None)
+        assert stmt.values[3] == ast.Literal(True)
+
+    def test_update(self):
+        stmt = parse("UPDATE person SET name = ?, age = 30 WHERE id = ?")
+        assert isinstance(stmt, ast.Update)
+        assert stmt.assignments[0][0] == "name"
+        assert stmt.where is not None
+
+    def test_delete(self):
+        stmt = parse("DELETE FROM person WHERE id = 1")
+        assert isinstance(stmt, ast.Delete)
+
+    def test_create_table(self):
+        stmt = parse(
+            "CREATE TABLE person (id BIGINT PRIMARY KEY, name TEXT)"
+        )
+        assert isinstance(stmt, ast.CreateTable)
+        assert stmt.columns[0].primary_key
+        assert stmt.columns[1].type_name == "text"
+
+    def test_create_index(self):
+        stmt = parse("CREATE INDEX idx ON knows (p1) USING HASH")
+        assert isinstance(stmt, ast.CreateIndex)
+        assert stmt.method == "hash"
+
+    def test_create_index_unnamed_defaults_btree(self):
+        stmt = parse("CREATE INDEX ON knows (p1)")
+        assert stmt.name is None
+        assert stmt.method == "btree"
+
+    def test_recursive_cte(self):
+        stmt = parse(
+            "WITH RECURSIVE bfs (node, depth) AS ("
+            "  SELECT k.p2, 1 FROM knows k WHERE k.p1 = ?"
+            "  UNION"
+            "  SELECT k.p2, b.depth + 1 FROM bfs b "
+            "    JOIN knows k ON k.p1 = b.node WHERE b.depth < 10"
+            ") SELECT MIN(depth) FROM bfs WHERE node = ?"
+        )
+        assert isinstance(stmt, ast.RecursiveCTE)
+        assert stmt.distinct  # UNION without ALL
+        assert stmt.columns == ("node", "depth")
+
+    def test_recursive_cte_union_all(self):
+        stmt = parse(
+            "WITH RECURSIVE r (n) AS ("
+            "SELECT 1 UNION ALL SELECT n + 1 FROM r WHERE n < 5"
+            ") SELECT n FROM r"
+        )
+        assert not stmt.distinct
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse("SELECT 1 FROM t extra garbage here")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse("")
+
+    def test_semicolon_allowed(self):
+        parse("SELECT 1;")
+
+    @given(st.integers(-(10**9), 10**9))
+    def test_integer_literals_roundtrip(self, n):
+        stmt = parse(f"SELECT {n} FROM t" if n >= 0 else f"SELECT ({n}) FROM t")
+        expr = stmt.items[0].expr
+        if n >= 0:
+            assert expr == ast.Literal(n)
+        else:
+            assert isinstance(expr, ast.UnaryOp)

@@ -1,0 +1,150 @@
+"""Planner unit tests: access-path and join-algorithm selection."""
+
+import pytest
+
+from repro.relational import Database
+from repro.relational.sql.planner import PlanError
+
+
+@pytest.fixture(params=["row", "column"])
+def db(request):
+    database = Database(request.param)
+    database.execute(
+        "CREATE TABLE person (id BIGINT PRIMARY KEY, name TEXT, city TEXT)"
+    )
+    database.execute("CREATE TABLE knows (p1 BIGINT, p2 BIGINT)")
+    database.execute("CREATE INDEX ON knows (p1) USING HASH")
+    database.execute(
+        "CREATE TABLE visited (personid BIGINT, place TEXT)"
+    )  # deliberately unindexed
+    for pid in range(20):
+        database.execute(
+            "INSERT INTO person VALUES (?, ?, ?)",
+            (pid, f"p{pid}", "x" if pid % 2 else "y"),
+        )
+        database.execute("INSERT INTO knows VALUES (?, ?)", (pid, (pid + 1) % 20))
+        database.execute(
+            "INSERT INTO visited VALUES (?, ?)", (pid, f"place{pid % 3}")
+        )
+    return database
+
+
+class TestAccessPaths:
+    def test_pk_equality_uses_index_scan(self, db):
+        plan = db.explain("SELECT name FROM person WHERE id = 3")
+        assert "IndexEqScan" in plan
+        assert "SeqScan" not in plan
+
+    def test_param_equality_uses_index_scan(self, db):
+        plan = db.explain("SELECT name FROM person WHERE id = ?")
+        assert "IndexEqScan" in plan
+
+    def test_non_indexed_predicate_scans(self, db):
+        plan = db.explain("SELECT name FROM person WHERE city = 'x'")
+        assert "SeqScan" in plan
+        assert "Filter" in plan
+
+    def test_unindexed_table_scans(self, db):
+        plan = db.explain("SELECT place FROM visited WHERE personid = 3")
+        assert "SeqScan" in plan
+
+
+class TestJoinSelection:
+    def test_indexed_join_uses_index_nested_loop(self, db):
+        plan = db.explain(
+            "SELECT p.name FROM person src "
+            "JOIN knows k ON k.p1 = src.id "
+            "JOIN person p ON p.id = k.p2 WHERE src.id = 1"
+        )
+        if db.catalog.storage == "column":
+            assert "VectorizedIndexNLJoin" in plan
+        else:
+            assert "IndexNLJoin" in plan
+            assert "Vectorized" not in plan
+
+    def test_unindexed_equality_uses_hash_join(self, db):
+        plan = db.explain(
+            "SELECT v.place FROM person p "
+            "JOIN visited v ON v.personid = p.id"
+        )
+        assert "HashJoin" in plan
+
+    def test_non_equality_falls_back_to_nested_loop(self, db):
+        plan = db.explain(
+            "SELECT p2.name FROM person p1 JOIN person p2 ON p2.id > p1.id "
+            "WHERE p1.id = 0"
+        )
+        assert "NLJoin" in plan
+
+    def test_join_results_identical_across_algorithms(self, db):
+        """The hash-join and index-join paths agree on the same query."""
+        via_index = db.query(
+            "SELECT k.p2 FROM person p JOIN knows k ON k.p1 = p.id "
+            "WHERE p.id = 5"
+        )
+        via_hash = db.query(
+            "SELECT k.p2 FROM person p JOIN visited v ON v.personid = p.id "
+            "JOIN knows k ON k.p1 = p.id WHERE p.id = 5"
+        )
+        assert sorted(via_index) == sorted(via_hash)
+
+
+class TestPlanShape:
+    def test_limit_and_sort_in_plan(self, db):
+        plan = db.explain(
+            "SELECT name FROM person ORDER BY name DESC LIMIT 3"
+        )
+        assert "Sort" in plan and "Limit" in plan
+
+    def test_distinct_in_plan(self, db):
+        plan = db.explain("SELECT DISTINCT city FROM person")
+        assert "Distinct" in plan
+
+    def test_aggregate_in_plan(self, db):
+        plan = db.explain("SELECT city, COUNT(*) FROM person GROUP BY city")
+        assert "Aggregate" in plan
+
+    def test_recursive_plan(self, db):
+        plan = db.explain(
+            "WITH RECURSIVE r (n) AS (SELECT 1 UNION ALL "
+            "SELECT n + 1 FROM r WHERE n < 3) SELECT n FROM r"
+        )
+        assert "RecursiveCTEPlan" in plan
+
+    def test_explain_rejects_dml(self, db):
+        with pytest.raises(TypeError):
+            db.explain("INSERT INTO person VALUES (99, 'x', 'y')")
+
+    def test_aggregate_mixed_select_rejected(self, db):
+        with pytest.raises(PlanError):
+            db.query("SELECT name, COUNT(*) FROM person GROUP BY city")
+
+    def test_unresolvable_where_rejected(self, db):
+        from repro.relational.sql.executor import SqlRuntimeError
+
+        with pytest.raises((PlanError, SqlRuntimeError)):
+            db.query("SELECT name FROM person WHERE ghost = 1")
+
+
+class TestProjectionPushdown:
+    def test_column_store_fetches_only_needed_columns(self):
+        from repro.simclock import meter
+
+        db = Database("column")
+        db.execute(
+            "CREATE TABLE wide (id BIGINT PRIMARY KEY, a TEXT, b TEXT, "
+            "c TEXT, d TEXT, e TEXT, f TEXT, g TEXT)"
+        )
+        for i in range(50):
+            db.execute(
+                "INSERT INTO wide VALUES (?, 'a', 'b', 'c', 'd', 'e', "
+                "'f', 'g')",
+                (i,),
+            )
+        with meter() as narrow:
+            db.query("SELECT a FROM wide WHERE id = 25")
+        with meter() as full:
+            db.query("SELECT * FROM wide WHERE id = 25")
+        assert (
+            narrow.counters["column_seek"] < full.counters["column_seek"]
+        )

@@ -1,0 +1,189 @@
+"""Tests for the B+tree and hash index."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simclock import meter
+from repro.storage import BPlusTree, HashIndex
+
+
+class TestBPlusTree:
+    def test_empty(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.search(1) == []
+        assert list(tree.items()) == []
+
+    def test_insert_search(self):
+        tree = BPlusTree()
+        tree.insert(5, "five")
+        assert tree.search(5) == ["five"]
+        assert tree.contains(5)
+        assert not tree.contains(6)
+
+    def test_duplicates_allowed_by_default(self):
+        tree = BPlusTree()
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert sorted(tree.search(1)) == ["a", "b"]
+        assert len(tree) == 2
+
+    def test_unique_rejects_duplicates(self):
+        tree = BPlusTree(unique=True)
+        tree.insert(1, "a")
+        with pytest.raises(KeyError):
+            tree.insert(1, "b")
+
+    def test_split_preserves_order(self):
+        tree = BPlusTree(order=4)
+        keys = list(range(100))
+        for k in keys:
+            tree.insert(k, k * 10)
+        assert [k for k, _ in tree.items()] == keys
+        assert tree.height() > 1
+
+    def test_reverse_insertion_order(self):
+        tree = BPlusTree(order=4)
+        for k in reversed(range(50)):
+            tree.insert(k, str(k))
+        assert [k for k, _ in tree.items()] == list(range(50))
+
+    def test_range_scan_bounds(self):
+        tree = BPlusTree(order=4)
+        for k in range(20):
+            tree.insert(k, k)
+        assert [k for k, _ in tree.range_scan(5, 8)] == [5, 6, 7, 8]
+        assert [k for k, _ in tree.range_scan(5, 8, lo_inclusive=False)] == [6, 7, 8]
+        assert [k for k, _ in tree.range_scan(5, 8, hi_inclusive=False)] == [5, 6, 7]
+        assert [k for k, _ in tree.range_scan(hi=2)] == [0, 1, 2]
+        assert [k for k, _ in tree.range_scan(lo=17)] == [17, 18, 19]
+
+    def test_range_scan_missing_bound_keys(self):
+        tree = BPlusTree(order=4)
+        for k in [10, 20, 30, 40]:
+            tree.insert(k, k)
+        assert [k for k, _ in tree.range_scan(15, 35)] == [20, 30]
+
+    def test_delete_specific_value(self):
+        tree = BPlusTree()
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.delete(1, "a") == 1
+        assert tree.search(1) == ["b"]
+
+    def test_delete_all_values(self):
+        tree = BPlusTree()
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.delete(1) == 2
+        assert tree.search(1) == []
+        assert len(tree) == 0
+
+    def test_delete_absent_key(self):
+        assert BPlusTree().delete(99) == 0
+
+    def test_min_key(self):
+        tree = BPlusTree(order=4)
+        for k in [5, 3, 9]:
+            tree.insert(k, k)
+        assert tree.min_key() == 3
+        with pytest.raises(KeyError):
+            BPlusTree().min_key()
+
+    def test_tuple_keys(self):
+        tree = BPlusTree()
+        tree.insert((1, "a"), "x")
+        tree.insert((1, "b"), "y")
+        tree.insert((2, "a"), "z")
+        got = [v for _, v in tree.range_scan((1, ""), (1, "zzz"))]
+        assert got == ["x", "y"]
+
+    def test_charges_index_work(self):
+        tree = BPlusTree(order=4)
+        for k in range(100):
+            tree.insert(k, k)
+        with meter() as ledger:
+            tree.search(50)
+        assert ledger.counters["index_probe"] == 1
+        assert ledger.counters["index_node"] >= tree.height()
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 500), st.integers()), max_size=300))
+    def test_matches_sorted_model(self, pairs):
+        tree = BPlusTree(order=4)
+        model: dict[int, list[int]] = {}
+        for key, value in pairs:
+            tree.insert(key, value)
+            model.setdefault(key, []).append(value)
+        expected = [
+            (k, v) for k in sorted(model) for v in model[k]
+        ]
+        assert list(tree.items()) == expected
+        for key in model:
+            assert tree.search(key) == model[key]
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(0, 100), min_size=1, max_size=200),
+        st.lists(st.integers(0, 100), max_size=100),
+    )
+    def test_delete_property(self, inserts, deletes):
+        tree = BPlusTree(order=4)
+        model: dict[int, list[int]] = {}
+        for k in inserts:
+            tree.insert(k, k)
+            model.setdefault(k, []).append(k)
+        for k in deletes:
+            removed = tree.delete(k)
+            assert removed == len(model.pop(k, []))
+        expected = [(k, v) for k in sorted(model) for v in model[k]]
+        assert list(tree.items()) == expected
+
+
+class TestHashIndex:
+    def test_insert_search(self):
+        idx = HashIndex()
+        idx.insert("k", 1)
+        idx.insert("k", 2)
+        assert idx.search("k") == [1, 2]
+        assert idx.search("absent") == []
+
+    def test_unique(self):
+        idx = HashIndex(unique=True)
+        idx.insert("k", 1)
+        with pytest.raises(KeyError):
+            idx.insert("k", 2)
+
+    def test_delete_value(self):
+        idx = HashIndex()
+        idx.insert("k", 1)
+        idx.insert("k", 2)
+        assert idx.delete("k", 1) == 1
+        assert idx.search("k") == [2]
+
+    def test_delete_key(self):
+        idx = HashIndex()
+        idx.insert("k", 1)
+        idx.insert("k", 2)
+        assert idx.delete("k") == 2
+        assert not idx.contains("k")
+        assert len(idx) == 0
+
+    def test_items(self):
+        idx = HashIndex()
+        idx.insert("a", 1)
+        idx.insert("b", 2)
+        assert sorted(idx.items()) == [("a", 1), ("b", 2)]
+
+    def test_charges(self):
+        idx = HashIndex()
+        with meter() as ledger:
+            idx.insert("a", 1)
+            idx.search("a")
+        assert ledger.counters["index_insert"] == 1
+        assert ledger.counters["hash_probe"] == 1

@@ -1,0 +1,127 @@
+"""Tests for slotted pages and the row codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage import PAGE_SIZE, ColumnType, RowCodec, SlottedPage
+from repro.storage.pages import PageFullError
+
+
+class TestSlottedPage:
+    def test_empty_page(self):
+        page = SlottedPage()
+        assert page.n_slots == 0
+        assert page.records() == []
+        assert page.free_space() > PAGE_SIZE - 64
+
+    def test_insert_and_read(self):
+        page = SlottedPage()
+        slot = page.insert(b"hello")
+        assert page.read(slot) == b"hello"
+
+    def test_multiple_inserts_keep_distinct_slots(self):
+        page = SlottedPage()
+        slots = [page.insert(f"rec{i}".encode()) for i in range(10)]
+        assert slots == list(range(10))
+        for i, slot in enumerate(slots):
+            assert page.read(slot) == f"rec{i}".encode()
+
+    def test_delete_tombstones(self):
+        page = SlottedPage()
+        slot = page.insert(b"bye")
+        page.delete(slot)
+        with pytest.raises(KeyError):
+            page.read(slot)
+        assert page.live_count() == 0
+        # slot numbers are not reused
+        assert page.insert(b"next") == 1
+
+    def test_update_in_place_same_size(self):
+        page = SlottedPage()
+        slot = page.insert(b"aaaa")
+        assert page.update_in_place(slot, b"bbbb")
+        assert page.read(slot) == b"bbbb"
+
+    def test_update_in_place_shrink(self):
+        page = SlottedPage()
+        slot = page.insert(b"aaaa")
+        assert page.update_in_place(slot, b"cc")
+        assert page.read(slot) == b"cc"
+
+    def test_update_in_place_grow_refused(self):
+        page = SlottedPage()
+        slot = page.insert(b"aa")
+        assert not page.update_in_place(slot, b"ccc")
+        assert page.read(slot) == b"aa"
+
+    def test_page_full(self):
+        page = SlottedPage()
+        big = b"x" * 4000
+        page.insert(big)
+        page.insert(big)
+        with pytest.raises(PageFullError):
+            page.insert(big)
+
+    def test_empty_record_rejected(self):
+        with pytest.raises(ValueError):
+            SlottedPage().insert(b"")
+
+    def test_page_roundtrips_through_bytes(self):
+        page = SlottedPage()
+        page.insert(b"persisted")
+        copy = SlottedPage(bytearray(bytes(page.buf)))
+        assert copy.read(0) == b"persisted"
+
+    @given(st.lists(st.binary(min_size=1, max_size=200), max_size=30))
+    def test_insert_read_roundtrip(self, records):
+        page = SlottedPage()
+        stored = []
+        for rec in records:
+            if page.fits(rec):
+                stored.append((page.insert(rec), rec))
+        for slot, rec in stored:
+            assert page.read(slot) == rec
+
+
+ROW_TYPES = [ColumnType.INT, ColumnType.FLOAT, ColumnType.TEXT, ColumnType.BOOL]
+
+
+class TestRowCodec:
+    def test_roundtrip_simple(self):
+        codec = RowCodec(ROW_TYPES)
+        row = (42, 3.5, "héllo", True)
+        assert codec.decode(codec.encode(row)) == row
+
+    def test_nulls(self):
+        codec = RowCodec(ROW_TYPES)
+        row = (None, None, None, None)
+        assert codec.decode(codec.encode(row)) == row
+
+    def test_wrong_arity_rejected(self):
+        codec = RowCodec([ColumnType.INT])
+        with pytest.raises(ValueError):
+            codec.encode((1, 2))
+
+    def test_type_mismatch_rejected(self):
+        codec = RowCodec([ColumnType.INT])
+        with pytest.raises(TypeError):
+            codec.encode(("not an int",))
+
+    def test_trailing_garbage_rejected(self):
+        codec = RowCodec([ColumnType.BOOL])
+        data = codec.encode((True,)) + b"x"
+        with pytest.raises(ValueError):
+            codec.decode(data)
+
+    @given(
+        st.tuples(
+            st.one_of(st.none(), st.integers(-(2**62), 2**62)),
+            st.one_of(st.none(), st.floats(allow_nan=False, allow_infinity=False)),
+            st.one_of(st.none(), st.text(max_size=100)),
+            st.one_of(st.none(), st.booleans()),
+        )
+    )
+    def test_roundtrip_property(self, row):
+        codec = RowCodec(ROW_TYPES)
+        assert codec.decode(codec.encode(row)) == row

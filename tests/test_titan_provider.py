@@ -1,0 +1,120 @@
+"""Unit tests for the Titan provider's KV encoding and backends."""
+
+import pytest
+
+from repro.simclock import meter
+from repro.titan import TitanProvider, titan_berkeley, titan_cassandra
+from repro.titan.graph import _encode_value, _pad
+
+
+class TestKeyEncoding:
+    def test_pad_preserves_numeric_order(self):
+        values = [0, 9, 10, 99, 1_000_000_007, 7_000_000_000]
+        padded = [_pad(v) for v in values]
+        assert padded == sorted(padded)
+
+    def test_encode_value_ints_order(self):
+        values = [0, 5, 42, 1000]
+        encoded = [_encode_value(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_encode_value_strings_prefix(self):
+        assert _encode_value("abc").startswith("s")
+        assert _encode_value(7).startswith("n")
+
+
+@pytest.fixture(params=["cassandra", "berkeley"])
+def provider(request):
+    p = titan_cassandra() if request.param == "cassandra" else titan_berkeley()
+    p.create_index("person", "id")
+    return p
+
+
+class TestTitanProvider:
+    def test_vertex_roundtrip(self, provider):
+        vid = provider.create_vertex("person", {"id": 7, "name": "x"})
+        assert vid == 7
+        assert provider.vertex_label(7) == "person"
+        assert provider.vertex_props(7) == {"id": 7, "name": "x"}
+
+    def test_vertex_requires_id(self, provider):
+        with pytest.raises(ValueError):
+            provider.create_vertex("person", {"name": "anon"})
+
+    def test_index_lookup(self, provider):
+        provider.create_vertex("person", {"id": 5})
+        assert provider.lookup("person", "id", 5) == [5]
+        assert provider.lookup("person", "id", 6) == []
+
+    def test_lookup_without_index_rejected(self, provider):
+        with pytest.raises(KeyError):
+            provider.lookup("forum", "id", 1)
+
+    def test_edges_stored_both_directions(self, provider):
+        provider.create_vertex("person", {"id": 1})
+        provider.create_vertex("person", {"id": 2})
+        eid = provider.create_edge("knows", 1, 2, {"since": 2010})
+        out = list(provider.adjacent(1, "out", "knows"))
+        into = list(provider.adjacent(2, "in", "knows"))
+        assert [o for _, o in out] == [2]
+        assert [o for _, o in into] == [1]
+        assert provider.edge_props(eid) == {"since": 2010}
+        assert provider.edge_endpoints(eid) == (1, 2)
+
+    def test_both_direction_single_labelled_scan(self, provider):
+        provider.create_vertex("person", {"id": 1})
+        provider.create_vertex("person", {"id": 2})
+        provider.create_vertex("person", {"id": 3})
+        provider.create_edge("knows", 1, 2, {})
+        provider.create_edge("knows", 3, 1, {})
+        both = sorted(o for _, o in provider.adjacent(1, "both", "knows"))
+        assert both == [2, 3]
+
+    def test_unlabelled_adjacency_scans_whole_row(self, provider):
+        provider.create_vertex("person", {"id": 1})
+        provider.create_vertex("post", {"id": 100})
+        provider.create_vertex("person", {"id": 2})
+        provider.create_edge("likes", 1, 100, {})
+        provider.create_edge("knows", 1, 2, {})
+        all_neighbours = sorted(o for _, o in provider.adjacent(1, "both", None))
+        assert all_neighbours == [2, 100]
+
+    def test_set_vertex_prop_invalidates_cache(self, provider):
+        provider.create_vertex("person", {"id": 1, "age": 30})
+        assert provider.vertex_props(1)["age"] == 30  # warm the tx cache
+        provider.set_vertex_prop(1, "age", 31)
+        assert provider.vertex_props(1)["age"] == 31
+
+    def test_tx_cache_avoids_backend_reads(self):
+        provider = titan_cassandra()
+        provider.create_index("person", "id")
+        provider.create_vertex("person", {"id": 1, "name": "x"})
+        provider.vertex_props(1)  # populate cache
+        with meter() as ledger:
+            provider.vertex_props(1)
+            provider.vertex_props(1)
+        assert ledger.counters.get("backend_rtt", 0) == 0
+
+
+class TestBackendDifferences:
+    def test_cassandra_is_remote(self):
+        assert titan_cassandra().remote_backend
+        assert titan_cassandra().requires_locking
+        assert not titan_cassandra().serializes_writers
+
+    def test_berkeley_is_embedded_and_serialized(self):
+        p = titan_berkeley()
+        assert not p.remote_backend
+        assert not p.requires_locking
+        assert p.serializes_writers
+
+    def test_locking_charge_only_on_cassandra(self):
+        for factory, expect_lock in (
+            (titan_cassandra, True),
+            (titan_berkeley, False),
+        ):
+            provider = factory()
+            provider.create_index("person", "id")
+            with meter() as ledger:
+                provider.create_vertex("person", {"id": 1})
+            assert (ledger.counters.get("lock_rtt", 0) > 0) is expect_lock
