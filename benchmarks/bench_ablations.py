@@ -16,7 +16,7 @@ analysis credits for the headline results.
 """
 
 from repro.core import make_connector
-from repro.core.benchmark import LatencyBenchmark, WorkloadParams
+from repro.core.benchmark import LatencyBenchmark
 from repro.core.report import render_table
 from repro.driver import InteractiveConfig, InteractiveWorkloadRunner
 from repro.driver.workload import FULL_MIX

@@ -16,8 +16,6 @@ Paper shape asserted below:
 
 import os
 
-import pytest
-
 from repro.core import SUT_KEYS
 from repro.core.report import render_series, render_table
 from repro.driver import InteractiveConfig, InteractiveWorkloadRunner

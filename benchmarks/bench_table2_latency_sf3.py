@@ -10,8 +10,6 @@ Paper shape asserted below:
   behind its native-interface counterpart.
 """
 
-import math
-
 from repro.core import SUT_KEYS
 from repro.core.benchmark import MICRO_QUERIES, LatencyBenchmark
 from repro.core.report import render_table

@@ -13,10 +13,10 @@ Same queries as Table 2, larger graph.  Additional paper shape:
 import math
 
 from repro.core import SUT_KEYS
-from repro.core.benchmark import MICRO_QUERIES, LatencyBenchmark
+from repro.core.benchmark import MICRO_QUERIES
 from repro.core.report import render_table
 
-from conftest import REPETITIONS, banner
+from conftest import banner
 
 from bench_table2_latency_sf3 import run_suite
 

@@ -1,0 +1,81 @@
+"""Cross-dialect consistency: one operation, one schema footprint.
+
+The paper's core claim is a *fair* comparison: every system answers the
+same workload.  That only holds if, say, ``person_profile`` touches the
+person->place relationship in all four dialects, not just in three.
+This pass compares the canonical schema footprints the dialect walkers
+computed, after :meth:`SchemaCatalog.close_footprint` normalisation
+(dialects encode endpoints differently — a SQL FK column names no
+tables, a SPARQL predicate names no classes — so raw footprints are
+closed over relationship endpoints first).
+
+Only the read operations are compared.  The insert operations
+legitimately diverge today (the RDF connector persists ``speaks`` /
+``email`` / ``studyAt`` facts the others drop) — see ROADMAP.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.analysis.cypher import AnalysisResult
+from repro.analysis.diagnostics import Diagnostic, SourceLocation, make
+from repro.analysis.schema import SchemaCatalog, default_catalog
+
+#: the 13 read operations every connector must implement identically
+READ_OPERATIONS: tuple[str, ...] = (
+    "point_lookup",
+    "one_hop",
+    "two_hop",
+    "shortest_path",
+    "person_profile",
+    "person_recent_posts",
+    "person_friends",
+    "message_content",
+    "message_creator",
+    "message_forum",
+    "message_replies",
+    "complex_two_hop",
+    "friends_recent_posts",
+)
+
+
+def check_consistency(
+    per_dialect: Mapping[str, Mapping[str, AnalysisResult]],
+    catalog: SchemaCatalog | None = None,
+) -> list[Diagnostic]:
+    """Compare closed footprints across dialects, per read operation.
+
+    ``per_dialect`` maps dialect -> operation -> walker result.
+    """
+    catalog = catalog or default_catalog()
+    out: list[Diagnostic] = []
+    for operation in READ_OPERATIONS:
+        location = SourceLocation("cross", operation)
+        closed: dict[str, frozenset[str]] = {}
+        for dialect, operations in per_dialect.items():
+            result = operations.get(operation)
+            if result is None:
+                out.append(make(
+                    "QA402",
+                    f"{dialect} has no catalog entry for {operation}",
+                    location,
+                ))
+            else:
+                closed[dialect] = catalog.close_footprint(result.footprint)
+        if len(set(closed.values())) <= 1:
+            continue
+        common = frozenset.intersection(*closed.values())
+        details = "; ".join(
+            f"{dialect} adds {{{', '.join(sorted(extra))}}}"
+            if (extra := footprint - common)
+            else f"{dialect} lacks elements the others touch"
+            for dialect, footprint in sorted(closed.items())
+        )
+        out.append(make(
+            "QA401",
+            f"schema footprints diverge (common core "
+            f"{{{', '.join(sorted(common))}}}): {details}",
+            location,
+        ))
+    return out

@@ -1,0 +1,414 @@
+"""Static analysis of Cypher query strings against the schema catalog."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.analysis.diagnostics import Diagnostic, SourceLocation, make
+from repro.analysis.schema import SchemaCatalog, default_catalog
+from repro.graphdb.cypher import ast
+from repro.graphdb.cypher.parser import CypherParseError, parse
+
+_COMPARISONS = {"=", "<>", "<", "<=", ">", ">="}
+
+#: sentinel environment entries for non-node variables
+_REL = "rel"
+_PATH = "path"
+
+
+@dataclass
+class AnalysisResult:
+    """Diagnostics plus the raw canonical-concept footprint."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    footprint: set[str] = field(default_factory=set)
+
+
+def analyze_cypher(
+    operation: str,
+    queries: Sequence[str],
+    catalog: SchemaCatalog | None = None,
+) -> AnalysisResult:
+    catalog = catalog or default_catalog()
+    result = AnalysisResult()
+    for index, text in enumerate(queries):
+        location = SourceLocation("cypher", operation, index)
+        _analyze_one(text, location, catalog, result)
+    return result
+
+
+def _analyze_one(
+    text: str,
+    location: SourceLocation,
+    catalog: SchemaCatalog,
+    result: AnalysisResult,
+) -> None:
+    try:
+        query = parse(text)
+    except CypherParseError as exc:
+        result.diagnostics.append(make("QA105", str(exc), location))
+        return
+    out = result.diagnostics
+    env: dict[str, object] = {}
+    match_patterns: list[ast.PathPattern] = []
+    anchored_vars: set[str] = set()
+
+    for clause in query.clauses:
+        if isinstance(clause, ast.MatchClause):
+            for pattern in clause.patterns:
+                _check_pattern(pattern, env, anchored_vars, location,
+                               catalog, result)
+                match_patterns.append(pattern)
+            if clause.where is not None:
+                _check_expr(clause.where, env, location, catalog, out)
+                _collect_where_anchors(clause.where, anchored_vars)
+        elif isinstance(clause, ast.CreateClause):
+            for pattern in clause.patterns:
+                _check_pattern(pattern, env, anchored_vars, location,
+                               catalog, result)
+        elif isinstance(clause, ast.SetClause):
+            for item in clause.items:
+                _check_expr(item.target, env, location, catalog, out)
+                _check_expr(item.value, env, location, catalog, out)
+    if query.returns is not None:
+        for item in query.returns.items:
+            _check_expr(item.expr, env, location, catalog, out)
+            if item.alias is not None:
+                env.setdefault(item.alias, _PATH)
+        for order in query.returns.order_by:
+            if isinstance(order.expr, ast.VarRef) and (
+                order.expr.name in env
+            ):
+                continue  # ORDER BY a RETURN alias
+            _check_expr(order.expr, env, location, catalog, out)
+    _check_cartesian(match_patterns, anchored_vars, location, out)
+
+
+# --- patterns --------------------------------------------------------------------
+
+
+def _check_pattern(
+    pattern: ast.PathPattern,
+    env: dict[str, object],
+    anchored_vars: set[str],
+    location: SourceLocation,
+    catalog: SchemaCatalog,
+    result: AnalysisResult,
+) -> None:
+    out = result.diagnostics
+    if pattern.assign_var is not None:
+        env[pattern.assign_var] = _PATH
+    # resolve nodes first so endpoint checks can look right
+    entity_sets: list[frozenset[str] | None] = []
+    for node in pattern.nodes:
+        entities = _node_entities(node, location, catalog, out)
+        entity_sets.append(entities)
+        if entities:
+            result.footprint |= entities
+        if node.var is not None:
+            if entities:
+                env[node.var] = entities
+            else:
+                env.setdefault(node.var, frozenset())
+        for key, expr in node.props:
+            if key == "id" and node.var is not None:
+                anchored_vars.add(node.var)
+            _check_prop(entities or None, key, expr, location, catalog, out)
+    for position, rel in enumerate(pattern.rels):
+        if rel.var is not None:
+            env[rel.var] = _REL
+        left = entity_sets[position]
+        right = entity_sets[position + 1]
+        for rel_type in rel.types:
+            canonical = catalog.cypher_rel_types.get(rel_type)
+            if canonical is None:
+                out.append(make(
+                    "QA102", f"unknown relationship type :{rel_type}",
+                    location,
+                ))
+                continue
+            result.footprint.add(canonical)
+            _check_endpoints(
+                canonical, rel.direction, left, right, location, catalog,
+                out,
+            )
+            relationship = catalog.relationships[canonical]
+            for key, expr in rel.props:
+                declared = relationship.props.get(key)
+                if declared is None:
+                    out.append(make(
+                        "QA103",
+                        f"relationship :{rel_type} has no property "
+                        f"{key!r}",
+                        location,
+                    ))
+                elif isinstance(expr, ast.Literal):
+                    _check_literal_type(declared, expr.value, key,
+                                        location, out)
+
+
+def _node_entities(
+    node: ast.NodePattern,
+    location: SourceLocation,
+    catalog: SchemaCatalog,
+    out: list[Diagnostic],
+) -> frozenset[str]:
+    entities: frozenset[str] | None = None
+    for label in node.labels:
+        mapped = catalog.cypher_labels.get(label)
+        if mapped is None:
+            out.append(make("QA101", f"unknown label :{label}", location))
+            continue
+        entities = mapped if entities is None else entities & mapped
+    return entities if entities is not None else frozenset()
+
+
+def _check_endpoints(
+    canonical: str,
+    direction: str,
+    left: frozenset[str] | None,
+    right: frozenset[str] | None,
+    location: SourceLocation,
+    catalog: SchemaCatalog,
+    out: list[Diagnostic],
+) -> None:
+    rel = catalog.relationships[canonical]
+
+    def fits(src_side, dst_side) -> bool:
+        src_ok = not src_side or bool(src_side & rel.src)
+        dst_ok = not dst_side or bool(dst_side & rel.dst)
+        return src_ok and dst_ok
+
+    if direction == "out":
+        ok = fits(left, right)
+    elif direction == "in":
+        ok = fits(right, left)
+    else:
+        ok = fits(left, right) or fits(right, left)
+    if not ok:
+        out.append(make(
+            "QA202",
+            f":{_original_type(canonical, catalog)} cannot connect "
+            f"{set(left or ()) or '?'} to {set(right or ()) or '?'} "
+            f"(expects {set(rel.src)} -> {set(rel.dst)})",
+            location,
+        ))
+
+
+def _original_type(canonical: str, catalog: SchemaCatalog) -> str:
+    for cypher_type, mapped in catalog.cypher_rel_types.items():
+        if mapped == canonical:
+            return cypher_type
+    return canonical
+
+
+def _check_prop(
+    entities: frozenset[str] | None,
+    key: str,
+    expr: ast.Expr,
+    location: SourceLocation,
+    catalog: SchemaCatalog,
+    out: list[Diagnostic],
+) -> None:
+    if not entities:
+        return
+    declared = catalog.entity_prop_type(entities, key)
+    if declared is None:
+        out.append(make(
+            "QA103",
+            f"no property {key!r} on {set(entities)}",
+            location,
+        ))
+    elif isinstance(expr, ast.Literal):
+        _check_literal_type(declared, expr.value, key, location, out)
+
+
+def _check_literal_type(
+    declared: str,
+    value: object,
+    key: str,
+    location: SourceLocation,
+    out: list[Diagnostic],
+) -> None:
+    if declared == "list":
+        return
+    actual = "int" if isinstance(value, (int, float)) and not isinstance(
+        value, bool
+    ) else "str"
+    if isinstance(value, bool):
+        actual = "bool"
+    if value is not None and actual != declared:
+        out.append(make(
+            "QA201",
+            f"property {key!r} is {declared}, compared with "
+            f"{actual} literal {value!r}",
+            location,
+        ))
+
+
+# --- expressions -----------------------------------------------------------------
+
+
+def _check_expr(
+    expr: ast.Expr,
+    env: dict[str, object],
+    location: SourceLocation,
+    catalog: SchemaCatalog,
+    out: list[Diagnostic],
+) -> None:
+    if isinstance(expr, ast.PropAccess):
+        bound = env.get(expr.var)
+        if bound is None:
+            out.append(make(
+                "QA107", f"variable {expr.var!r} is not bound", location,
+            ))
+        elif isinstance(bound, frozenset) and bound:
+            _check_prop(bound, expr.key, ast.Param("_"), location,
+                        catalog, out)
+    elif isinstance(expr, ast.VarRef):
+        if expr.name not in env:
+            out.append(make(
+                "QA107", f"variable {expr.name!r} is not bound", location,
+            ))
+    elif isinstance(expr, ast.BinaryOp):
+        _check_expr(expr.left, env, location, catalog, out)
+        _check_expr(expr.right, env, location, catalog, out)
+        if expr.op in _COMPARISONS:
+            _check_comparison(expr, env, location, catalog, out)
+    elif isinstance(expr, ast.UnaryOp):
+        _check_expr(expr.operand, env, location, catalog, out)
+    elif isinstance(expr, ast.IsNull):
+        _check_expr(expr.operand, env, location, catalog, out)
+    elif isinstance(expr, ast.FuncCall):
+        for arg in expr.args:
+            _check_expr(arg, env, location, catalog, out)
+
+
+def _check_comparison(
+    expr: ast.BinaryOp,
+    env: dict[str, object],
+    location: SourceLocation,
+    catalog: SchemaCatalog,
+    out: list[Diagnostic],
+) -> None:
+    sides = (expr.left, expr.right)
+    for prop_side, other in (sides, sides[::-1]):
+        if not isinstance(prop_side, ast.PropAccess):
+            continue
+        bound = env.get(prop_side.var)
+        if not isinstance(bound, frozenset) or not bound:
+            continue
+        declared = catalog.entity_prop_type(bound, prop_side.key)
+        if declared is not None and isinstance(other, ast.Literal):
+            _check_literal_type(declared, other.value, prop_side.key,
+                                location, out)
+    for side in sides:
+        if _wraps_property(side):
+            out.append(make(
+                "QA302",
+                "comparison applies an expression to a property; "
+                "no index can serve it",
+                location,
+            ))
+
+
+def _wraps_property(expr: ast.Expr) -> bool:
+    """True when an expression buries a PropAccess under computation."""
+    if isinstance(expr, ast.FuncCall):
+        return any(_contains_property(arg) for arg in expr.args)
+    if isinstance(expr, ast.BinaryOp) and expr.op not in _COMPARISONS and (
+        expr.op not in {"AND", "OR"}
+    ):
+        return _contains_property(expr.left) or _contains_property(
+            expr.right
+        )
+    return False
+
+
+def _contains_property(expr: ast.Expr) -> bool:
+    if isinstance(expr, ast.PropAccess):
+        return True
+    if isinstance(expr, ast.BinaryOp):
+        return _contains_property(expr.left) or _contains_property(
+            expr.right
+        )
+    if isinstance(expr, (ast.UnaryOp, ast.IsNull)):
+        return _contains_property(expr.operand)
+    if isinstance(expr, ast.FuncCall):
+        return any(_contains_property(arg) for arg in expr.args)
+    return False
+
+
+# --- cartesian products ----------------------------------------------------------
+
+
+def _collect_where_anchors(expr: ast.Expr, anchored: set[str]) -> None:
+    """Vars pinned by an equality on their ``id`` property in WHERE."""
+    if isinstance(expr, ast.BinaryOp):
+        if expr.op == "=":
+            for side, other in (
+                (expr.left, expr.right), (expr.right, expr.left)
+            ):
+                if (
+                    isinstance(side, ast.PropAccess)
+                    and side.key == "id"
+                    and isinstance(other, (ast.Literal, ast.Param))
+                ):
+                    anchored.add(side.var)
+        _collect_where_anchors(expr.left, anchored)
+        _collect_where_anchors(expr.right, anchored)
+
+
+def _check_cartesian(
+    patterns: list[ast.PathPattern],
+    anchored_vars: set[str],
+    location: SourceLocation,
+    out: list[Diagnostic],
+) -> None:
+    if len(patterns) < 2:
+        return
+    # union-find over patterns by shared variables
+    parent = list(range(len(patterns)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        parent[find(i)] = find(j)
+
+    vars_of: list[set[str]] = []
+    for pattern in patterns:
+        names = {n.var for n in pattern.nodes if n.var is not None}
+        names |= {r.var for r in pattern.rels if r.var is not None}
+        vars_of.append(names)
+    for i in range(len(patterns)):
+        for j in range(i + 1, len(patterns)):
+            if vars_of[i] & vars_of[j]:
+                union(i, j)
+    components: dict[int, list[int]] = {}
+    for i in range(len(patterns)):
+        components.setdefault(find(i), []).append(i)
+    if len(components) < 2:
+        return
+    for members in components.values():
+        anchored = False
+        for i in members:
+            if vars_of[i] & anchored_vars:
+                anchored = True
+            if any(
+                key == "id"
+                for node in patterns[i].nodes
+                for key, _ in node.props
+            ):
+                anchored = True
+        if not anchored:
+            out.append(make(
+                "QA301",
+                "disconnected pattern component with no id anchor "
+                "forms a cartesian product",
+                location,
+            ))

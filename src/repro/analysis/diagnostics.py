@@ -1,0 +1,113 @@
+"""The diagnostic model shared by every analysis pass.
+
+Codes are grouped by hundreds:
+
+=======  ==============================================================
+QA101    unknown label (node label / RDF class / vertex label)
+QA102    unknown edge type (relationship type / predicate / edge label)
+QA103    unknown property (property key / column)
+QA104    unknown table (SQL)
+QA105    query does not parse
+QA106    arity mismatch (INSERT value count vs. table width)
+QA107    unbound variable
+QA201    type-mismatched predicate (literal type vs. declared type)
+QA202    edge endpoint mismatch (edge used between wrong entity kinds)
+QA301    cartesian product (disconnected, unanchored pattern component)
+QA302    non-sargable filter (expression applied to a column before
+         comparison; an index can never serve it)
+QA303    unanchored scan (traversal / query with no index anchor)
+QA401    cross-dialect schema-footprint mismatch for one operation
+QA402    operation missing from a dialect's catalog
+QA501    lock-order cycle across call sites
+=======  ==============================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+#: code -> (short name, default severity)
+CODES: dict[str, tuple[str, Severity]] = {
+    "QA101": ("unknown-label", Severity.ERROR),
+    "QA102": ("unknown-edge-type", Severity.ERROR),
+    "QA103": ("unknown-property", Severity.ERROR),
+    "QA104": ("unknown-table", Severity.ERROR),
+    "QA105": ("parse-error", Severity.ERROR),
+    "QA106": ("arity-mismatch", Severity.ERROR),
+    "QA107": ("unbound-variable", Severity.ERROR),
+    "QA201": ("type-mismatch", Severity.ERROR),
+    "QA202": ("edge-endpoint-mismatch", Severity.ERROR),
+    "QA301": ("cartesian-product", Severity.ERROR),
+    "QA302": ("non-sargable-filter", Severity.WARNING),
+    "QA303": ("unanchored-scan", Severity.WARNING),
+    "QA401": ("cross-dialect-mismatch", Severity.ERROR),
+    "QA402": ("missing-operation", Severity.ERROR),
+    "QA501": ("lock-order-cycle", Severity.ERROR),
+}
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """Where a diagnostic points: one query of one operation's catalog
+    entry (or a file/function for the lock-order pass)."""
+
+    dialect: str  # cypher | sql | sparql | gremlin | python
+    operation: str  # connector method name, or file path
+    query_index: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.dialect}:{self.operation}[{self.query_index}]"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    code: str
+    message: str
+    location: SourceLocation
+    severity: Severity = field(default=Severity.ERROR)
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code}")
+
+    @property
+    def name(self) -> str:
+        return CODES[self.code][0]
+
+    def __str__(self) -> str:
+        return (
+            f"{self.code} {self.severity.value:7s} {self.location}: "
+            f"{self.message}"
+        )
+
+
+def make(code: str, message: str, location: SourceLocation) -> Diagnostic:
+    """A diagnostic with the code's default severity."""
+    return Diagnostic(code, message, location, CODES[code][1])
+
+
+def errors(diagnostics: list[Diagnostic]) -> list[Diagnostic]:
+    return [d for d in diagnostics if d.severity is Severity.ERROR]
+
+
+class QueryValidationError(Exception):
+    """A query catalog failed validation; carries the diagnostics.
+
+    Raised at connector *construction* time so a bad query is rejected
+    before any benchmark run, not mid-run under load.
+    """
+
+    def __init__(self, diagnostics: list[Diagnostic]) -> None:
+        self.diagnostics = list(diagnostics)
+        lines = "\n  ".join(str(d) for d in self.diagnostics)
+        super().__init__(
+            f"{len(self.diagnostics)} query diagnostic(s):\n  {lines}"
+        )

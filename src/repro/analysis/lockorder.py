@@ -1,0 +1,181 @@
+"""Lock-acquisition-order analysis over the transaction layer's callers.
+
+Two code paths that acquire the same pair of lock resources in opposite
+orders can deadlock under concurrency even if each path is individually
+correct — the classic AB/BA hang.  This pass walks the Python AST of
+the package's sources, records the ordered resource expressions each
+function passes to ``LockManager.acquire`` (or acquires on a bare
+``lock.acquire()``), builds a global resource-order graph, and reports
+any strongly connected component (QA501).
+
+Resources are compared *textually* (the unparsed argument expression),
+so two call sites locking ``(table.name, key)`` are the same node; the
+pass over-approximates (it assumes earlier locks are still held) and
+ignores self-edges, which are re-entrant re-acquisitions the
+:class:`~repro.txn.locks.LockManager` permits.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Mapping
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic, SourceLocation, make
+
+#: methods that block until the lock is granted (try_acquire cannot
+#: participate in a deadlock: it fails instead of waiting)
+_BLOCKING = {"acquire"}
+
+
+def analyze_lock_order(
+    paths: Iterable[str | Path] | None = None,
+) -> list[Diagnostic]:
+    """Run the pass over ``paths`` (default: the whole package)."""
+    if paths is None:
+        root = Path(__file__).resolve().parents[1]
+        paths = sorted(root.rglob("*.py"))
+    sources = {
+        str(path): Path(path).read_text(encoding="utf-8")
+        for path in paths
+    }
+    return analyze_lock_order_sources(sources)
+
+
+def analyze_lock_order_sources(
+    sources: Mapping[str, str],
+) -> list[Diagnostic]:
+    #: (earlier resource, later resource) -> witness "file:function"s
+    edges: dict[tuple[str, str], list[str]] = {}
+    for name, text in sources.items():
+        try:
+            tree = ast.parse(text)
+        except SyntaxError as exc:
+            return [make(
+                "QA105",
+                f"cannot parse {name}: {exc}",
+                SourceLocation("python", name),
+            )]
+        for function, sequence in _function_sequences(tree):
+            witness = f"{name}:{function}"
+            for i, earlier in enumerate(sequence):
+                for later in sequence[i + 1:]:
+                    if earlier != later:
+                        edges.setdefault((earlier, later), []).append(
+                            witness
+                        )
+    return _report_cycles(edges)
+
+
+def _function_sequences(tree: ast.AST) -> list[tuple[str, list[str]]]:
+    """(function name, ordered lock-resource tokens) per function."""
+    out: list[tuple[str, list[str]]] = []
+
+    def visit(node: ast.AST, context: list[str] | None) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            sequence: list[str] = []
+            for child in ast.iter_child_nodes(node):
+                visit(child, sequence)
+            out.append((node.name, sequence))
+            return
+        if context is not None and isinstance(node, ast.Call):
+            token = _resource_token(node)
+            if token is not None:
+                context.append(token)
+        for child in ast.iter_child_nodes(node):
+            visit(child, context)
+
+    visit(tree, None)
+    return out
+
+
+def _resource_token(call: ast.Call) -> str | None:
+    func = call.func
+    if not isinstance(func, ast.Attribute) or func.attr not in _BLOCKING:
+        return None
+    if len(call.args) >= 2:
+        # LockManager.acquire(txn_id, resource, mode)
+        return ast.unparse(call.args[1])
+    if len(call.args) == 1:
+        return ast.unparse(call.args[0])
+    # bare lock.acquire(): the receiver is the resource
+    return ast.unparse(func.value)
+
+
+def _report_cycles(
+    edges: Mapping[tuple[str, str], list[str]],
+) -> list[Diagnostic]:
+    graph: dict[str, set[str]] = {}
+    for earlier, later in edges:
+        graph.setdefault(earlier, set()).add(later)
+        graph.setdefault(later, set())
+
+    out: list[Diagnostic] = []
+    for component in _sccs(graph):
+        if len(component) < 2:
+            continue
+        members = sorted(component)
+        witnesses = sorted({
+            witness
+            for (earlier, later), names in edges.items()
+            if earlier in component and later in component
+            for witness in names
+        })
+        out.append(make(
+            "QA501",
+            f"lock resources {members} are acquired in conflicting "
+            f"orders by {witnesses}",
+            SourceLocation("python", witnesses[0] if witnesses else "?"),
+        ))
+    return out
+
+
+def _sccs(graph: Mapping[str, set[str]]) -> list[set[str]]:
+    """Tarjan's strongly connected components, iteratively."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    components: list[set[str]] = []
+
+    for root in graph:
+        if root in index:
+            continue
+        work: list[tuple[str, Iterable[str]]] = [
+            (root, iter(graph[root]))
+        ]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(graph[succ])))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component: set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components

@@ -7,6 +7,7 @@ Commands
 ``interactive``  the Figure 3 real-time workload for one system
 ``load``         the Table 4 / Appendix A ingestion experiment
 ``validate``     cross-check that all systems answer queries identically
+``lint``         statically analyse the query catalogs against the schema
 ``systems``      list the eight SUT keys
 """
 
@@ -228,6 +229,30 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 1 if mismatches else 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run every static-analysis pass and print the diagnostics.
+
+    Exit status is 1 when any ERROR-severity diagnostic is found (or,
+    with ``--strict``, any diagnostic at all), so CI can gate on it.
+    """
+    from repro.analysis import Severity, lint_all
+
+    diagnostics = lint_all()
+    for diagnostic in diagnostics:
+        print(f"{diagnostic.severity.name:7s} {diagnostic}")
+    error_count = sum(
+        1 for d in diagnostics if d.severity is Severity.ERROR
+    )
+    warning_count = len(diagnostics) - error_count
+    print(
+        f"lint: {error_count} error(s), {warning_count} warning(s) "
+        f"across 4 dialect catalogs"
+    )
+    if error_count or (args.strict and diagnostics):
+        return 1
+    return 0
+
+
 def _normalize(value):
     if isinstance(value, list):
         return [tuple(v) if isinstance(v, (list, tuple)) else v for v in value]
@@ -274,6 +299,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checks", type=int, default=5,
                    help="curated parameters per operation")
     p.set_defaults(fn=cmd_validate)
+
+    p = sub.add_parser(
+        "lint", help="static analysis of the query catalogs"
+    )
+    p.add_argument(
+        "--strict", action="store_true",
+        help="fail on warnings as well as errors",
+    )
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("load", help="Table 4 / Appendix A ingestion")
     _add_dataset_args(p)

@@ -51,6 +51,28 @@ class Connector(ABC):
     #: named exclusive resources a write must hold in the concurrency
     #: harness (e.g. Titan-B's serialized writer latch)
     write_resources: tuple[str, ...] = ()
+    #: analysis dialect ("cypher" | "sql" | "sparql" | "gremlin");
+    #: None disables prepare-time validation
+    dialect: str | None = None
+    #: the module-level query catalog validated at construction
+    query_catalog: object = None
+
+    # -- prepare-time validation ---------------------------------------------
+
+    def _validate_queries(self) -> None:
+        """Statically check :attr:`query_catalog` against the schema.
+
+        Called from subclass ``__init__``: a query referencing unknown
+        schema elements raises
+        :class:`repro.analysis.diagnostics.QueryValidationError` here,
+        before any benchmark runs, instead of failing mid-run.  Results
+        are cached per catalog, so repeated construction stays cheap.
+        """
+        if self.dialect is None or self.query_catalog is None:
+            return
+        from repro.analysis.linter import ensure_catalog_valid
+
+        ensure_catalog_valid(self.dialect, self.query_catalog)
 
     # -- lifecycle ----------------------------------------------------------
 

@@ -22,13 +22,137 @@ from repro.snb.schema import (
     Post,
 )
 
+#: every Cypher statement the connector issues, by operation.  Queries
+#: with a caller-supplied LIMIT are stored without the clause; the
+#: methods append ``LIMIT <n>`` at call time.  The catalog is validated
+#: against the schema (see :mod:`repro.analysis`) at construction.
+CYPHER_QUERIES: dict[str, tuple[str, ...]] = {
+    "point_lookup": (
+        "MATCH (p:Person {id: $id}) "
+        "RETURN p.firstName, p.lastName, p.gender",
+    ),
+    "one_hop": (
+        "MATCH (p:Person {id: $id})-[:KNOWS]-(f:Person) "
+        "RETURN f.id AS id ORDER BY id",
+    ),
+    "two_hop": (
+        "MATCH (p:Person {id: $id})-[:KNOWS]-(x:Person)"
+        "-[:KNOWS]-(f:Person) WHERE f.id <> $id "
+        "RETURN DISTINCT f.id AS id ORDER BY id",
+    ),
+    "shortest_path": (
+        "MATCH p = shortestPath((a:Person {id: $a})-[:KNOWS*]-"
+        "(b:Person {id: $b})) RETURN length(p)",
+    ),
+    "person_profile": (
+        "MATCH (p:Person {id: $id})-[:IS_LOCATED_IN]->(c:Place) "
+        "RETURN p.firstName, p.lastName, p.gender, p.birthday, "
+        "p.browserUsed, c.id",
+    ),
+    "person_recent_posts": (
+        "MATCH (p:Person {id: $id})<-[:HAS_CREATOR]-(m:Message) "
+        "RETURN m.id AS id, m.content AS content, "
+        "m.creationDate AS d ORDER BY d DESC, id DESC",
+    ),
+    "person_friends": (
+        "MATCH (p:Person {id: $id})-[:KNOWS]-(f:Person) "
+        "RETURN f.id AS id, f.firstName AS fn, f.lastName AS ln "
+        "ORDER BY id",
+    ),
+    "message_content": (
+        "MATCH (m:Message {id: $id}) RETURN m.content, m.creationDate",
+    ),
+    "message_creator": (
+        "MATCH (m:Message {id: $id})-[:HAS_CREATOR]->(p:Person) "
+        "RETURN p.id, p.firstName, p.lastName",
+    ),
+    "message_forum": (
+        "MATCH (m:Post {id: $id})<-[:CONTAINER_OF]-(f:Forum)"
+        "-[:HAS_MODERATOR]->(mod:Person) "
+        "RETURN f.id, f.title, mod.id",
+        "MATCH (c:Comment {id: $id})-[:ROOT_POST]->(:Post)"
+        "<-[:CONTAINER_OF]-(f:Forum)-[:HAS_MODERATOR]->(mod:Person) "
+        "RETURN f.id, f.title, mod.id",
+    ),
+    "message_replies": (
+        "MATCH (m:Message {id: $id})<-[:REPLY_OF]-(c:Comment)"
+        "-[:HAS_CREATOR]->(p:Person) "
+        "RETURN c.id AS id, p.id AS pid, c.creationDate AS d "
+        "ORDER BY id",
+    ),
+    "complex_two_hop": (
+        "MATCH (p:Person {id: $id})-[:KNOWS]-(x:Person)"
+        "-[:KNOWS]-(f:Person) WHERE f.id <> $id "
+        "RETURN DISTINCT f.id AS id, f.firstName AS fn, "
+        "f.lastName AS ln ORDER BY id",
+    ),
+    "friends_recent_posts": (
+        "MATCH (p:Person {id: $id})-[:KNOWS]-(f:Person)"
+        "<-[:HAS_CREATOR]-(m:Message) "
+        "RETURN m.id AS id, f.id AS fid, m.content AS content, "
+        "m.creationDate AS d ORDER BY d DESC, id DESC",
+    ),
+    "add_person": (
+        "CREATE (p:Person {id: $id, firstName: $fn, lastName: $ln, "
+        "gender: $g, birthday: $bd, creationDate: $cd, "
+        "locationIP: $ip, browserUsed: $b})",
+        "MATCH (p:Person {id: $id}), (c:Place {id: $city}) "
+        "CREATE (p)-[:IS_LOCATED_IN]->(c)",
+        "MATCH (p:Person {id: $id}), (t:Tag {id: $tag}) "
+        "CREATE (p)-[:HAS_INTEREST]->(t)",
+    ),
+    "add_friendship": (
+        "MATCH (a:Person {id: $a}), (b:Person {id: $b}) "
+        "CREATE (a)-[:KNOWS {creationDate: $d}]->(b)",
+    ),
+    "add_forum": (
+        "CREATE (f:Forum {id: $id, title: $t, creationDate: $d})",
+        "MATCH (f:Forum {id: $id}), (p:Person {id: $mod}) "
+        "CREATE (f)-[:HAS_MODERATOR]->(p)",
+        "MATCH (f:Forum {id: $id}), (t:Tag {id: $tag}) "
+        "CREATE (f)-[:HAS_TAG]->(t)",
+    ),
+    "add_forum_membership": (
+        "MATCH (f:Forum {id: $f}), (p:Person {id: $p}) "
+        "CREATE (f)-[:HAS_MEMBER {joinDate: $d}]->(p)",
+    ),
+    "add_post": (
+        "CREATE (m:Post:Message {id: $id, creationDate: $d, "
+        "content: $c, length: $l, browserUsed: $b, locationIP: $ip, "
+        "language: $lang})",
+        "MATCH (m:Post {id: $id}), (p:Person {id: $creator}), "
+        "(f:Forum {id: $forum}), (c:Place {id: $country}) "
+        "CREATE (m)-[:HAS_CREATOR]->(p), (f)-[:CONTAINER_OF]->(m), "
+        "(m)-[:IS_LOCATED_IN]->(c)",
+        "MATCH (m:Post {id: $id}), (t:Tag {id: $tag}) "
+        "CREATE (m)-[:HAS_TAG]->(t)",
+    ),
+    "add_comment": (
+        "CREATE (m:Comment:Message {id: $id, creationDate: $d, "
+        "content: $c, length: $l, browserUsed: $b, locationIP: $ip})",
+        "MATCH (m:Comment {id: $id}), (p:Person {id: $creator}), "
+        "(parent:Message {id: $parent}), (root:Post {id: $root}), "
+        "(c:Place {id: $country}) "
+        "CREATE (m)-[:HAS_CREATOR]->(p), (m)-[:REPLY_OF]->(parent), "
+        "(m)-[:ROOT_POST]->(root), (m)-[:IS_LOCATED_IN]->(c)",
+    ),
+    "add_like": (
+        "MATCH (p:Person {id: $p}), (m:Message {id: $m}) "
+        "CREATE (p)-[:LIKES {creationDate: $d}]->(m)",
+    ),
+}
+
 
 class CypherConnector(Connector):
     key = "neo4j-cypher"
     system = "Neo4j"
     language = "Cypher"
 
+    dialect = "cypher"
+    query_catalog = CYPHER_QUERIES
+
     def __init__(self) -> None:
+        self._validate_queries()
         self.db = GraphDatabase("neo4j")
         for label in ("Person", "Forum", "Message", "Tag", "Place",
                       "Organisation", "TagClass"):
@@ -212,110 +336,78 @@ class CypherConnector(Connector):
 
     def point_lookup(self, person_id: int) -> tuple:
         rows = self._query(
-            "MATCH (p:Person {id: $id}) "
-            "RETURN p.firstName, p.lastName, p.gender",
-            {"id": person_id},
+            CYPHER_QUERIES["point_lookup"][0], {"id": person_id}
         )
         return rows[0] if rows else ()
 
     def one_hop(self, person_id: int) -> list[int]:
         rows = self._query(
-            "MATCH (p:Person {id: $id})-[:KNOWS]-(f:Person) "
-            "RETURN f.id AS id ORDER BY id",
-            {"id": person_id},
+            CYPHER_QUERIES["one_hop"][0], {"id": person_id}
         )
         return [r[0] for r in rows]
 
     def two_hop(self, person_id: int) -> list[int]:
         rows = self._query(
-            "MATCH (p:Person {id: $id})-[:KNOWS]-(x:Person)"
-            "-[:KNOWS]-(f:Person) WHERE f.id <> $id "
-            "RETURN DISTINCT f.id AS id ORDER BY id",
-            {"id": person_id},
+            CYPHER_QUERIES["two_hop"][0], {"id": person_id}
         )
         return [r[0] for r in rows]
 
     def shortest_path(self, person1: int, person2: int) -> int | None:
         rows = self._query(
-            "MATCH p = shortestPath((a:Person {id: $a})-[:KNOWS*]-"
-            "(b:Person {id: $b})) RETURN length(p)",
+            CYPHER_QUERIES["shortest_path"][0],
             {"a": person1, "b": person2},
         )
         return rows[0][0] if rows else None
 
     def person_profile(self, person_id: int) -> tuple:
         rows = self._query(
-            "MATCH (p:Person {id: $id})-[:IS_LOCATED_IN]->(c:Place) "
-            "RETURN p.firstName, p.lastName, p.gender, p.birthday, "
-            "p.browserUsed, c.id",
-            {"id": person_id},
+            CYPHER_QUERIES["person_profile"][0], {"id": person_id}
         )
         return rows[0] if rows else ()
 
     def person_recent_posts(self, person_id: int, limit: int = 10) -> list:
         return self._query(
-            "MATCH (p:Person {id: $id})<-[:HAS_CREATOR]-(m:Message) "
-            "RETURN m.id AS id, m.content AS content, "
-            "m.creationDate AS d ORDER BY d DESC, id DESC "
-            f"LIMIT {int(limit)}",
+            CYPHER_QUERIES["person_recent_posts"][0]
+            + f" LIMIT {int(limit)}",
             {"id": person_id},
         )
 
     def person_friends(self, person_id: int) -> list[tuple]:
         return self._query(
-            "MATCH (p:Person {id: $id})-[:KNOWS]-(f:Person) "
-            "RETURN f.id AS id, f.firstName AS fn, f.lastName AS ln "
-            "ORDER BY id",
-            {"id": person_id},
+            CYPHER_QUERIES["person_friends"][0], {"id": person_id}
         )
 
     def message_content(self, message_id: int) -> tuple:
         rows = self._query(
-            "MATCH (m:Message {id: $id}) RETURN m.content, m.creationDate",
-            {"id": message_id},
+            CYPHER_QUERIES["message_content"][0], {"id": message_id}
         )
         return rows[0] if rows else ()
 
     def message_creator(self, message_id: int) -> tuple:
         rows = self._query(
-            "MATCH (m:Message {id: $id})-[:HAS_CREATOR]->(p:Person) "
-            "RETURN p.id, p.firstName, p.lastName",
-            {"id": message_id},
+            CYPHER_QUERIES["message_creator"][0], {"id": message_id}
         )
         return rows[0] if rows else ()
 
     def message_forum(self, message_id: int) -> tuple:
         rows = self._query(
-            "MATCH (m:Post {id: $id})<-[:CONTAINER_OF]-(f:Forum)"
-            "-[:HAS_MODERATOR]->(mod:Person) "
-            "RETURN f.id, f.title, mod.id",
-            {"id": message_id},
+            CYPHER_QUERIES["message_forum"][0], {"id": message_id}
         )
         if not rows:
             rows = self._query(
-                "MATCH (c:Comment {id: $id})-[:ROOT_POST]->(:Post)"
-                "<-[:CONTAINER_OF]-(f:Forum)-[:HAS_MODERATOR]->(mod:Person) "
-                "RETURN f.id, f.title, mod.id",
-                {"id": message_id},
+                CYPHER_QUERIES["message_forum"][1], {"id": message_id}
             )
         return rows[0] if rows else ()
 
     def message_replies(self, message_id: int) -> list[tuple]:
         return self._query(
-            "MATCH (m:Message {id: $id})<-[:REPLY_OF]-(c:Comment)"
-            "-[:HAS_CREATOR]->(p:Person) "
-            "RETURN c.id AS id, p.id AS pid, c.creationDate AS d "
-            "ORDER BY id",
-            {"id": message_id},
+            CYPHER_QUERIES["message_replies"][0], {"id": message_id}
         )
 
     def complex_two_hop(self, person_id: int, limit: int = 20) -> list[tuple]:
         return self._query(
-            "MATCH (p:Person {id: $id})-[:KNOWS]-(x:Person)"
-            "-[:KNOWS]-(f:Person) WHERE f.id <> $id "
-            "RETURN DISTINCT f.id AS id, f.firstName AS fn, "
-            "f.lastName AS ln ORDER BY id "
-            f"LIMIT {int(limit)}",
+            CYPHER_QUERIES["complex_two_hop"][0]
+            + f" LIMIT {int(limit)}",
             {"id": person_id},
         )
 
@@ -323,11 +415,8 @@ class CypherConnector(Connector):
         self, person_id: int, limit: int = 10
     ) -> list[tuple]:
         return self._query(
-            "MATCH (p:Person {id: $id})-[:KNOWS]-(f:Person)"
-            "<-[:HAS_CREATOR]-(m:Message) "
-            "RETURN m.id AS id, f.id AS fid, m.content AS content, "
-            "m.creationDate AS d ORDER BY d DESC, id DESC "
-            f"LIMIT {int(limit)}",
+            CYPHER_QUERIES["friends_recent_posts"][0]
+            + f" LIMIT {int(limit)}",
             {"id": person_id},
         )
 
@@ -339,9 +428,7 @@ class CypherConnector(Connector):
 
     def add_person(self, person: Person) -> None:
         self._execute(
-            "CREATE (p:Person {id: $id, firstName: $fn, lastName: $ln, "
-            "gender: $g, birthday: $bd, creationDate: $cd, "
-            "locationIP: $ip, browserUsed: $b})",
+            CYPHER_QUERIES["add_person"][0],
             {
                 "id": person.id, "fn": person.first_name,
                 "ln": person.last_name, "g": person.gender,
@@ -350,88 +437,71 @@ class CypherConnector(Connector):
             },
         )
         self._execute(
-            "MATCH (p:Person {id: $id}), (c:Place {id: $city}) "
-            "CREATE (p)-[:IS_LOCATED_IN]->(c)",
+            CYPHER_QUERIES["add_person"][1],
             {"id": person.id, "city": person.city},
         )
         for tag_id in person.interests:
             self._execute(
-                "MATCH (p:Person {id: $id}), (t:Tag {id: $tag}) "
-                "CREATE (p)-[:HAS_INTEREST]->(t)",
+                CYPHER_QUERIES["add_person"][2],
                 {"id": person.id, "tag": tag_id},
             )
 
     def add_friendship(self, knows: Knows) -> None:
         self._execute(
-            "MATCH (a:Person {id: $a}), (b:Person {id: $b}) "
-            "CREATE (a)-[:KNOWS {creationDate: $d}]->(b)",
+            CYPHER_QUERIES["add_friendship"][0],
             {"a": knows.person1, "b": knows.person2,
              "d": knows.creation_date},
         )
 
     def add_forum(self, forum: Forum) -> None:
         self._execute(
-            "CREATE (f:Forum {id: $id, title: $t, creationDate: $d})",
+            CYPHER_QUERIES["add_forum"][0],
             {"id": forum.id, "t": forum.title, "d": forum.creation_date},
         )
         self._execute(
-            "MATCH (f:Forum {id: $id}), (p:Person {id: $mod}) "
-            "CREATE (f)-[:HAS_MODERATOR]->(p)",
+            CYPHER_QUERIES["add_forum"][1],
             {"id": forum.id, "mod": forum.moderator},
         )
         for tag_id in forum.tags:
             self._execute(
-                "MATCH (f:Forum {id: $id}), (t:Tag {id: $tag}) "
-                "CREATE (f)-[:HAS_TAG]->(t)",
+                CYPHER_QUERIES["add_forum"][2],
                 {"id": forum.id, "tag": tag_id},
             )
 
     def add_forum_membership(self, membership: ForumMembership) -> None:
         self._execute(
-            "MATCH (f:Forum {id: $f}), (p:Person {id: $p}) "
-            "CREATE (f)-[:HAS_MEMBER {joinDate: $d}]->(p)",
+            CYPHER_QUERIES["add_forum_membership"][0],
             {"f": membership.forum, "p": membership.person,
              "d": membership.join_date},
         )
 
     def add_post(self, post: Post) -> None:
         self._execute(
-            "CREATE (m:Post:Message {id: $id, creationDate: $d, "
-            "content: $c, length: $l, browserUsed: $b, locationIP: $ip, "
-            "language: $lang})",
+            CYPHER_QUERIES["add_post"][0],
             {"id": post.id, "d": post.creation_date, "c": post.content,
              "l": post.length, "b": post.browser_used,
              "ip": post.location_ip, "lang": post.language},
         )
         self._execute(
-            "MATCH (m:Post {id: $id}), (p:Person {id: $creator}), "
-            "(f:Forum {id: $forum}), (c:Place {id: $country}) "
-            "CREATE (m)-[:HAS_CREATOR]->(p), (f)-[:CONTAINER_OF]->(m), "
-            "(m)-[:IS_LOCATED_IN]->(c)",
+            CYPHER_QUERIES["add_post"][1],
             {"id": post.id, "creator": post.creator, "forum": post.forum,
              "country": post.country},
         )
         for tag_id in post.tags:
             self._execute(
-                "MATCH (m:Post {id: $id}), (t:Tag {id: $tag}) "
-                "CREATE (m)-[:HAS_TAG]->(t)",
+                CYPHER_QUERIES["add_post"][2],
                 {"id": post.id, "tag": tag_id},
             )
 
     def add_comment(self, comment: Comment) -> None:
         self._execute(
-            "CREATE (m:Comment:Message {id: $id, creationDate: $d, "
-            "content: $c, length: $l, browserUsed: $b, locationIP: $ip})",
+            CYPHER_QUERIES["add_comment"][0],
             {"id": comment.id, "d": comment.creation_date,
              "c": comment.content, "l": comment.length,
              "b": comment.browser_used, "ip": comment.location_ip},
         )
         self._execute(
-            "MATCH (m:Comment {id: $id}), (p:Person {id: $creator}), "
-            "(parent:Message {id: $parent}), (root:Post {id: $root}), "
-            "(c:Place {id: $country}) "
-            "CREATE (m)-[:HAS_CREATOR]->(p), (m)-[:REPLY_OF]->(parent), "
-            "(m)-[:ROOT_POST]->(root), (m)-[:IS_LOCATED_IN]->(c)",
+            CYPHER_QUERIES["add_comment"][1],
             {"id": comment.id, "creator": comment.creator,
              "parent": comment.reply_of, "root": comment.root_post,
              "country": comment.country},
@@ -439,8 +509,7 @@ class CypherConnector(Connector):
 
     def add_like(self, like: Like) -> None:
         self._execute(
-            "MATCH (p:Person {id: $p}), (m:Message {id: $m}) "
-            "CREATE (p)-[:LIKES {creationDate: $d}]->(m)",
+            CYPHER_QUERIES["add_like"][0],
             {"p": like.person, "m": like.message, "d": like.creation_date},
         )
 

@@ -153,12 +153,265 @@ def load_dataset_into_provider(
     return vertices, edges
 
 
+# -- the query catalog: every traversal shape the connector submits -----------
+#
+# Gremlin has no query text, so the catalog entries are *builders*: a
+# function taking the traversal source plus the operation's parameters.
+# The connector methods call these with live arguments; the static
+# analyser (see :mod:`repro.analysis.gremlin`) calls them with the
+# sample arguments below against a provider-less traversal and walks
+# the resulting step chain.
+
+
+def _q_vertex_by_id(g, label, vid):
+    return g.V().has(label, "id", vid).limit(1)
+
+
+def _q_point_lookup(g, person_id):
+    return g.V().has("person", "id", person_id).valueMap()
+
+
+def _q_one_hop(g, person_id):
+    return g.V().has("person", "id", person_id).both("knows").values("id")
+
+
+def _q_two_hop(g, person_id):
+    return (
+        g.V().has("person", "id", person_id)
+        .both("knows").both("knows")
+        .has("id", P.neq(person_id)).dedup().values("id")
+    )
+
+
+def _q_shortest_path(g, person1, person2):
+    return (
+        g.V().has("person", "id", person1)
+        .repeat(_anon_both_knows())
+        .until(_anon_has_id(person2))
+        .path().limit(1)
+    )
+
+
+def _q_person_city(g, person_id):
+    return (
+        g.V().has("person", "id", person_id)
+        .out("isLocatedIn").values("id")
+    )
+
+
+def _q_person_recent_posts(g, person_id, limit):
+    return (
+        g.V().has("person", "id", person_id)
+        .in_("hasCreator")
+        .order().by("creationDate", descending=True)
+        .limit(limit).valueMap()
+    )
+
+
+def _q_person_friends(g, person_id):
+    return (
+        g.V().has("person", "id", person_id)
+        .both("knows").order().by("id").valueMap()
+    )
+
+
+def _q_message_value_map(g, label, message_id):
+    return g.V().has(label, "id", message_id).valueMap()
+
+
+def _q_message_creator(g, label, message_id):
+    return (
+        g.V().has(label, "id", message_id)
+        .out("hasCreator").valueMap()
+    )
+
+
+def _q_post_forum(g, message_id):
+    return (
+        g.V().has("post", "id", message_id)
+        .in_("containerOf").valueMap()
+    )
+
+
+def _q_comment_forum(g, message_id):
+    return (
+        g.V().has("comment", "id", message_id)
+        .out("rootPost").in_("containerOf").valueMap()
+    )
+
+
+def _q_forum_moderator(g, forum_id):
+    return (
+        g.V().has("forum", "id", forum_id)
+        .out("hasModerator").values("id")
+    )
+
+
+def _q_message_replies(g, label, message_id):
+    return (
+        g.V().has(label, "id", message_id)
+        .in_("replyOf").valueMap()
+    )
+
+
+def _q_reply_creator(g, label, message_id):
+    return (
+        g.V().has(label, "id", message_id)
+        .out("hasCreator").values("id")
+    )
+
+
+def _q_complex_two_hop(g, person_id, limit):
+    return (
+        g.V().has("person", "id", person_id)
+        .both("knows").both("knows")
+        .has("id", P.neq(person_id)).dedup()
+        .order().by("id").limit(limit).valueMap()
+    )
+
+
+def _q_friends_recent_posts(g, person_id):
+    return (
+        g.V().has("person", "id", person_id)
+        .both("knows").in_("hasCreator").valueMap()
+    )
+
+
+def _q_add_vertex(g, label, props):
+    t = g.addV(label)
+    for key, value in props.items():
+        t.property(key, value)
+    return t
+
+
+def _q_add_edge(g, label, out_label, out_id, target, props):
+    t = g.V().has(out_label, "id", out_id).addE(label).to(target)
+    for key, value in props.items():
+        t.property(key, value)
+    return t
+
+
+#: sample vertex property maps the insert builders are validated with
+_SAMPLE_PROPS = {
+    "person": {
+        "id": 0, "firstName": "x", "lastName": "x", "gender": "x",
+        "birthday": 0, "creationDate": 0, "browserUsed": "x",
+        "locationIP": "x",
+    },
+    "forum": {"id": 0, "title": "x", "creationDate": 0},
+    "post": {
+        "id": 0, "creationDate": 0, "content": "x", "length": 0,
+        "browserUsed": "x", "locationIP": "x", "language": "x",
+    },
+    "comment": {
+        "id": 0, "creationDate": 0, "content": "x", "length": 0,
+        "browserUsed": "x", "locationIP": "x",
+    },
+}
+
+
+def _edge_entry(label, out_label, props=None):
+    return (_q_add_edge, {
+        "label": label, "out_label": out_label, "out_id": 0,
+        "target": None, "props": props or {},
+    })
+
+
+#: operation -> ((builder, sample kwargs), ...); validated against the
+#: schema catalog (see :mod:`repro.analysis`) at construction
+GREMLIN_TRAVERSALS: dict[str, tuple] = {
+    "vertex_by_id": (
+        (_q_vertex_by_id, {"label": "person", "vid": 0}),
+        (_q_vertex_by_id, {"label": "post", "vid": 0}),
+        (_q_vertex_by_id, {"label": "comment", "vid": 0}),
+    ),
+    "point_lookup": ((_q_point_lookup, {"person_id": 0}),),
+    "one_hop": ((_q_one_hop, {"person_id": 0}),),
+    "two_hop": ((_q_two_hop, {"person_id": 0}),),
+    "shortest_path": ((_q_shortest_path, {"person1": 0, "person2": 1}),),
+    "person_profile": (
+        (_q_point_lookup, {"person_id": 0}),
+        (_q_person_city, {"person_id": 0}),
+    ),
+    "person_recent_posts": (
+        (_q_person_recent_posts, {"person_id": 0, "limit": 10}),
+    ),
+    "person_friends": ((_q_person_friends, {"person_id": 0}),),
+    "message_content": (
+        (_q_message_value_map, {"label": "post", "message_id": 0}),
+        (_q_message_value_map, {"label": "comment", "message_id": 0}),
+    ),
+    "message_creator": (
+        (_q_message_creator, {"label": "post", "message_id": 0}),
+        (_q_message_creator, {"label": "comment", "message_id": 0}),
+    ),
+    "message_forum": (
+        (_q_post_forum, {"message_id": 0}),
+        (_q_comment_forum, {"message_id": 0}),
+        (_q_forum_moderator, {"forum_id": 0}),
+    ),
+    "message_replies": (
+        (_q_message_replies, {"label": "post", "message_id": 0}),
+        (_q_message_replies, {"label": "comment", "message_id": 0}),
+        (_q_reply_creator, {"label": "comment", "message_id": 0}),
+    ),
+    "complex_two_hop": (
+        (_q_complex_two_hop, {"person_id": 0, "limit": 20}),
+    ),
+    "friends_recent_posts": (
+        (_q_friends_recent_posts, {"person_id": 0}),
+        (_q_reply_creator, {"label": "post", "message_id": 0}),
+        (_q_reply_creator, {"label": "comment", "message_id": 0}),
+    ),
+    "add_person": (
+        (_q_add_vertex, {"label": "person",
+                         "props": _SAMPLE_PROPS["person"]}),
+        _edge_entry("isLocatedIn", "person"),
+        _edge_entry("hasInterest", "person"),
+    ),
+    "add_friendship": (
+        _edge_entry("knows", "person", {"creationDate": 0}),
+    ),
+    "add_forum": (
+        (_q_add_vertex, {"label": "forum",
+                         "props": _SAMPLE_PROPS["forum"]}),
+        _edge_entry("hasModerator", "forum"),
+        _edge_entry("hasTag", "forum"),
+    ),
+    "add_forum_membership": (
+        _edge_entry("hasMember", "forum", {"joinDate": 0}),
+    ),
+    "add_post": (
+        (_q_add_vertex, {"label": "post", "props": _SAMPLE_PROPS["post"]}),
+        _edge_entry("hasCreator", "post"),
+        _edge_entry("containerOf", "forum"),
+        _edge_entry("isLocatedIn", "post"),
+        _edge_entry("hasTag", "post"),
+    ),
+    "add_comment": (
+        (_q_add_vertex, {"label": "comment",
+                         "props": _SAMPLE_PROPS["comment"]}),
+        _edge_entry("hasCreator", "comment"),
+        _edge_entry("replyOf", "comment"),
+        _edge_entry("rootPost", "comment"),
+        _edge_entry("isLocatedIn", "comment"),
+    ),
+    "add_like": (
+        _edge_entry("likes", "person", {"creationDate": 0}),
+    ),
+}
+
+
 class GremlinConnector(Connector):
     """Shared Gremlin implementation; subclasses choose the backend."""
 
     language = "Gremlin"
 
+    dialect = "gremlin"
+    query_catalog = GREMLIN_TRAVERSALS
+
     def __init__(self) -> None:
+        self._validate_queries()
         self.provider = self._make_provider()
         self.server = GremlinServer(self.provider)
         self._vertex_cache: dict[int, Vertex] = {}
@@ -193,7 +446,7 @@ class GremlinConnector(Connector):
         if cached is not None:
             return cached
         results = self._submit(
-            lambda g: g.V().has("person", "id", person_id).limit(1)
+            lambda g: _q_vertex_by_id(g, "person", person_id)
         )
         if not results:
             raise OperationFailed(f"no person {person_id}")
@@ -203,9 +456,9 @@ class GremlinConnector(Connector):
     def _message_vertex(self, message_id: int) -> Vertex | None:
         for label in ("post", "comment"):
             results = self._submit(
-                lambda g, label=label: g.V().has(
-                    label, "id", message_id
-                ).limit(1)
+                lambda g, label=label: _q_vertex_by_id(
+                    g, label, message_id
+                )
             )
             if results:
                 return results[0]
@@ -214,37 +467,25 @@ class GremlinConnector(Connector):
     # -- micro reads ------------------------------------------------------------------
 
     def point_lookup(self, person_id: int) -> tuple:
-        maps = self._submit(
-            lambda g: g.V().has("person", "id", person_id).valueMap()
-        )
+        maps = self._submit(lambda g: _q_point_lookup(g, person_id))
         if not maps:
             return ()
         m = maps[0]
         return (m.get("firstName"), m.get("lastName"), m.get("gender"))
 
     def one_hop(self, person_id: int) -> list[int]:
-        ids = self._submit(
-            lambda g: g.V().has("person", "id", person_id)
-            .both("knows").values("id")
-        )
+        ids = self._submit(lambda g: _q_one_hop(g, person_id))
         return sorted(ids)
 
     def two_hop(self, person_id: int) -> list[int]:
-        ids = self._submit(
-            lambda g: g.V().has("person", "id", person_id)
-            .both("knows").both("knows")
-            .has("id", P.neq(person_id)).dedup().values("id")
-        )
+        ids = self._submit(lambda g: _q_two_hop(g, person_id))
         return sorted(ids)
 
     def shortest_path(self, person1: int, person2: int) -> int | None:
         if person1 == person2:
             return 0
         paths = self._submit(
-            lambda g: g.V().has("person", "id", person1)
-            .repeat(_anon_both_knows())
-            .until(_anon_has_id(person2))
-            .path().limit(1)
+            lambda g: _q_shortest_path(g, person1, person2)
         )
         if not paths:
             return None
@@ -253,16 +494,11 @@ class GremlinConnector(Connector):
     # -- short reads ----------------------------------------------------------------------
 
     def person_profile(self, person_id: int) -> tuple:
-        maps = self._submit(
-            lambda g: g.V().has("person", "id", person_id).valueMap()
-        )
+        maps = self._submit(lambda g: _q_point_lookup(g, person_id))
         if not maps:
             return ()
         m = maps[0]
-        cities = self._submit(
-            lambda g: g.V().has("person", "id", person_id)
-            .out("isLocatedIn").values("id")
-        )
+        cities = self._submit(lambda g: _q_person_city(g, person_id))
         return (
             m.get("firstName"), m.get("lastName"), m.get("gender"),
             m.get("birthday"), m.get("browserUsed"),
@@ -271,28 +507,22 @@ class GremlinConnector(Connector):
 
     def person_recent_posts(self, person_id: int, limit: int = 10) -> list:
         maps = self._submit(
-            lambda g: g.V().has("person", "id", person_id)
-            .in_("hasCreator")
-            .order().by("creationDate", descending=True)
-            .limit(limit).valueMap()
+            lambda g: _q_person_recent_posts(g, person_id, limit)
         )
         rows = [(m["id"], m.get("content"), m["creationDate"]) for m in maps]
         rows.sort(key=lambda r: (-r[2], -r[0]))
         return rows
 
     def person_friends(self, person_id: int) -> list[tuple]:
-        maps = self._submit(
-            lambda g: g.V().has("person", "id", person_id)
-            .both("knows").order().by("id").valueMap()
-        )
+        maps = self._submit(lambda g: _q_person_friends(g, person_id))
         return [(m["id"], m.get("firstName"), m.get("lastName")) for m in maps]
 
     def message_content(self, message_id: int) -> tuple:
         for label in ("post", "comment"):
             maps = self._submit(
-                lambda g, label=label: g.V().has(
-                    label, "id", message_id
-                ).valueMap()
+                lambda g, label=label: _q_message_value_map(
+                    g, label, message_id
+                )
             )
             if maps:
                 return (maps[0].get("content"), maps[0]["creationDate"])
@@ -301,8 +531,9 @@ class GremlinConnector(Connector):
     def message_creator(self, message_id: int) -> tuple:
         for label in ("post", "comment"):
             maps = self._submit(
-                lambda g, label=label: g.V().has(label, "id", message_id)
-                .out("hasCreator").valueMap()
+                lambda g, label=label: _q_message_creator(
+                    g, label, message_id
+                )
             )
             if maps:
                 m = maps[0]
@@ -310,21 +541,16 @@ class GremlinConnector(Connector):
         return ()
 
     def message_forum(self, message_id: int) -> tuple:
-        maps = self._submit(
-            lambda g: g.V().has("post", "id", message_id)
-            .in_("containerOf").valueMap()
-        )
+        maps = self._submit(lambda g: _q_post_forum(g, message_id))
         if not maps:
             maps = self._submit(
-                lambda g: g.V().has("comment", "id", message_id)
-                .out("rootPost").in_("containerOf").valueMap()
+                lambda g: _q_comment_forum(g, message_id)
             )
         if not maps:
             return ()
         forum = maps[0]
         moderators = self._submit(
-            lambda g: g.V().has("forum", "id", forum["id"])
-            .out("hasModerator").values("id")
+            lambda g: _q_forum_moderator(g, forum["id"])
         )
         return (forum["id"], forum.get("title"),
                 moderators[0] if moderators else None)
@@ -333,20 +559,22 @@ class GremlinConnector(Connector):
         replies = []
         for label in ("post", "comment"):
             exists = self._submit(
-                lambda g, label=label: g.V().has(
-                    label, "id", message_id
-                ).limit(1)
+                lambda g, label=label: _q_vertex_by_id(
+                    g, label, message_id
+                )
             )
             if not exists:
                 continue
             maps = self._submit(
-                lambda g, label=label: g.V().has(label, "id", message_id)
-                .in_("replyOf").valueMap()
+                lambda g, label=label: _q_message_replies(
+                    g, label, message_id
+                )
             )
             for m in maps:
                 creators = self._submit(
-                    lambda g, mid=m["id"]: g.V().has("comment", "id", mid)
-                    .out("hasCreator").values("id")
+                    lambda g, mid=m["id"]: _q_reply_creator(
+                        g, "comment", mid
+                    )
                 )
                 replies.append(
                     (m["id"], creators[0] if creators else None,
@@ -357,10 +585,7 @@ class GremlinConnector(Connector):
 
     def complex_two_hop(self, person_id: int, limit: int = 20) -> list[tuple]:
         maps = self._submit(
-            lambda g: g.V().has("person", "id", person_id)
-            .both("knows").both("knows")
-            .has("id", P.neq(person_id)).dedup()
-            .order().by("id").limit(limit).valueMap()
+            lambda g: _q_complex_two_hop(g, person_id, limit)
         )
         return [(m["id"], m.get("firstName"), m.get("lastName")) for m in maps]
 
@@ -371,8 +596,7 @@ class GremlinConnector(Connector):
         # API: fetch the whole neighbourhood activity and sort client-side
         # (exactly the kind of work a declarative engine would push down)
         maps = self._submit(
-            lambda g: g.V().has("person", "id", person_id)
-            .both("knows").in_("hasCreator").valueMap()
+            lambda g: _q_friends_recent_posts(g, person_id)
         )
         maps.sort(key=lambda m: (-m["creationDate"], -m["id"]))
         maps = maps[:limit]
@@ -380,9 +604,9 @@ class GremlinConnector(Connector):
         for m in maps:
             # the creator is one more request per message: the friend id
             creators = self._submit(
-                lambda g, mid=m["id"]: g.V()
-                .has("post" if "language" in m else "comment", "id", mid)
-                .out("hasCreator").values("id")
+                lambda g, mid=m["id"]: _q_reply_creator(
+                    g, "post" if "language" in m else "comment", mid
+                )
             )
             rows.append(
                 (m["id"], creators[0] if creators else None,
@@ -394,13 +618,7 @@ class GremlinConnector(Connector):
     # -- inserts -----------------------------------------------------------------------------
 
     def _add_vertex(self, label: str, props: dict) -> None:
-        def build(g):
-            t = g.addV(label)
-            for key, value in props.items():
-                t.property(key, value)
-            return t
-
-        results = self._submit(build)
+        results = self._submit(lambda g: _q_add_vertex(g, label, props))
         self._vertex_cache[props["id"]] = results[0]
 
     def _add_edge(
@@ -413,22 +631,16 @@ class GremlinConnector(Connector):
         props: dict | None = None,
     ) -> None:
         in_results = self._submit(
-            lambda g: g.V().has(in_label, "id", in_id).limit(1)
+            lambda g: _q_vertex_by_id(g, in_label, in_id)
         )
         if not in_results:
             raise OperationFailed(f"no {in_label} {in_id}")
         target = in_results[0]
-
-        def build(g):
-            t = (
-                g.V().has(out_label, "id", out_id)
-                .addE(label).to(target)
+        self._submit(
+            lambda g: _q_add_edge(
+                g, label, out_label, out_id, target, props or {}
             )
-            for key, value in (props or {}).items():
-                t.property(key, value)
-            return t
-
-        self._submit(build)
+        )
 
     def add_person(self, person: Person) -> None:
         self._add_vertex("person", {

@@ -51,12 +51,102 @@ def _org(oid: int) -> str:
     return f"sn:org{oid}"
 
 
+#: every read query the connector issues, by operation.  LIMIT-bearing
+#: queries are stored without the clause (appended at call time);
+#: ``shortest_path`` substitutes the frontier node IRI for ``$node``.
+#: Inserts go through :meth:`RdfDatabase.insert_triples` and carry no
+#: query text.  Validated against the schema catalog (see
+#: :mod:`repro.analysis`) at construction.
+SPARQL_QUERIES: dict[str, tuple[str, ...]] = {
+    "point_lookup": (
+        "SELECT ?fn ?ln ?g WHERE { ?p snb:id $id . "
+        "?p rdf:type snb:Person . ?p snb:firstName ?fn . "
+        "?p snb:lastName ?ln . ?p snb:gender ?g }",
+    ),
+    "one_hop": (
+        "SELECT ?fid WHERE { ?p snb:id $id . ?p rdf:type snb:Person . "
+        "?p snb:knows ?f . ?f snb:id ?fid } ORDER BY ?fid",
+    ),
+    "two_hop": (
+        "SELECT DISTINCT ?fofid WHERE { ?p snb:id $id . "
+        "?p rdf:type snb:Person . ?p snb:knows ?f . "
+        "?f snb:knows ?fof . ?fof snb:id ?fofid . "
+        "FILTER(?fofid != $id) } ORDER BY ?fofid",
+    ),
+    "shortest_path": (
+        "SELECT ?n WHERE { $node snb:knows ?n }",
+    ),
+    "person_profile": (
+        "SELECT ?fn ?ln ?g ?bd ?b ?cid WHERE { ?p snb:id $id . "
+        "?p rdf:type snb:Person . ?p snb:firstName ?fn . "
+        "?p snb:lastName ?ln . ?p snb:gender ?g . "
+        "?p snb:birthday ?bd . ?p snb:browserUsed ?b . "
+        "?p snb:isLocatedIn ?c . ?c snb:id ?cid }",
+    ),
+    "person_recent_posts": (
+        "SELECT ?mid ?content ?d WHERE { ?p snb:id $id . "
+        "?p rdf:type snb:Person . ?m snb:hasCreator ?p . "
+        "?m snb:id ?mid . ?m snb:content ?content . "
+        "?m snb:creationDate ?d } ORDER BY DESC(?d) DESC(?mid)",
+    ),
+    "person_friends": (
+        "SELECT ?fid ?fn ?ln WHERE { ?p snb:id $id . "
+        "?p rdf:type snb:Person . ?p snb:knows ?f . ?f snb:id ?fid . "
+        "?f snb:firstName ?fn . ?f snb:lastName ?ln } ORDER BY ?fid",
+    ),
+    "message_content": (
+        "SELECT ?content ?d WHERE { ?m snb:id $id . "
+        "?m snb:content ?content . ?m snb:creationDate ?d }",
+    ),
+    "message_creator": (
+        "SELECT ?pid ?fn ?ln WHERE { ?m snb:id $id . "
+        "?m snb:content ?c . ?m snb:hasCreator ?p . ?p snb:id ?pid . "
+        "?p snb:firstName ?fn . ?p snb:lastName ?ln }",
+    ),
+    "message_forum": (
+        "SELECT ?fid ?title ?modid WHERE { ?m snb:id $id . "
+        "?m rdf:type snb:Post . ?f snb:containerOf ?m . "
+        "?f snb:id ?fid . ?f snb:title ?title . "
+        "?f snb:hasModerator ?mod . ?mod snb:id ?modid }",
+        "SELECT ?fid ?title ?modid WHERE { ?m snb:id $id . "
+        "?m rdf:type snb:Comment . ?m snb:rootPost ?root . "
+        "?f snb:containerOf ?root . ?f snb:id ?fid . "
+        "?f snb:title ?title . ?f snb:hasModerator ?mod . "
+        "?mod snb:id ?modid }",
+    ),
+    "message_replies": (
+        "SELECT ?cid ?pid ?d WHERE { ?m snb:id $id . "
+        "?m snb:content ?x . ?c snb:replyOf ?m . ?c snb:id ?cid . "
+        "?c snb:hasCreator ?p . ?p snb:id ?pid . "
+        "?c snb:creationDate ?d } ORDER BY ?cid",
+    ),
+    "complex_two_hop": (
+        "SELECT DISTINCT ?fofid ?fn ?ln WHERE { ?p snb:id $id . "
+        "?p rdf:type snb:Person . ?p snb:knows ?f . "
+        "?f snb:knows ?fof . ?fof snb:id ?fofid . "
+        "?fof snb:firstName ?fn . ?fof snb:lastName ?ln . "
+        "FILTER(?fofid != $id) } ORDER BY ?fofid",
+    ),
+    "friends_recent_posts": (
+        "SELECT ?mid ?fid ?content ?d WHERE { ?p snb:id $id . "
+        "?p rdf:type snb:Person . ?p snb:knows ?f . ?f snb:id ?fid . "
+        "?m snb:hasCreator ?f . ?m snb:id ?mid . "
+        "?m snb:content ?content . ?m snb:creationDate ?d } "
+        "ORDER BY DESC(?d) DESC(?mid)",
+    ),
+}
+
+
 class VirtuosoSparqlConnector(Connector):
     key = "virtuoso-sparql"
     system = "Virtuoso"
     language = "SPARQL"
 
+    dialect = "sparql"
+    query_catalog = SPARQL_QUERIES
+
     def __init__(self) -> None:
+        self._validate_queries()
         self.db = RdfDatabase("virtuoso-rdf")
         self._statement_seq = 0
 
@@ -231,29 +321,16 @@ class VirtuosoSparqlConnector(Connector):
 
     def point_lookup(self, person_id: int) -> tuple:
         rows = self._query(
-            "SELECT ?fn ?ln ?g WHERE { ?p snb:id $id . "
-            "?p rdf:type snb:Person . ?p snb:firstName ?fn . "
-            "?p snb:lastName ?ln . ?p snb:gender ?g }",
-            {"id": person_id},
+            SPARQL_QUERIES["point_lookup"][0], {"id": person_id}
         )
         return rows[0] if rows else ()
 
     def one_hop(self, person_id: int) -> list[int]:
-        rows = self._query(
-            "SELECT ?fid WHERE { ?p snb:id $id . ?p rdf:type snb:Person . "
-            "?p snb:knows ?f . ?f snb:id ?fid } ORDER BY ?fid",
-            {"id": person_id},
-        )
+        rows = self._query(SPARQL_QUERIES["one_hop"][0], {"id": person_id})
         return [r[0] for r in rows]
 
     def two_hop(self, person_id: int) -> list[int]:
-        rows = self._query(
-            "SELECT DISTINCT ?fofid WHERE { ?p snb:id $id . "
-            "?p rdf:type snb:Person . ?p snb:knows ?f . "
-            "?f snb:knows ?fof . ?fof snb:id ?fofid . "
-            "FILTER(?fofid != $id) } ORDER BY ?fofid",
-            {"id": person_id},
-        )
+        rows = self._query(SPARQL_QUERIES["two_hop"][0], {"id": person_id})
         return [r[0] for r in rows]
 
     def shortest_path(self, person1: int, person2: int) -> int | None:
@@ -272,7 +349,9 @@ class VirtuosoSparqlConnector(Connector):
                 # The whole level is expanded before the target check —
                 # the client batches per level.
                 rows = self._query(
-                    f"SELECT ?n WHERE {{ {node} snb:knows ?n }}"
+                    SPARQL_QUERIES["shortest_path"][0].replace(
+                        "$node", node
+                    )
                 )
                 for (neighbour,) in rows:
                     if neighbour == target:
@@ -289,87 +368,53 @@ class VirtuosoSparqlConnector(Connector):
 
     def person_profile(self, person_id: int) -> tuple:
         rows = self._query(
-            "SELECT ?fn ?ln ?g ?bd ?b ?cid WHERE { ?p snb:id $id . "
-            "?p rdf:type snb:Person . ?p snb:firstName ?fn . "
-            "?p snb:lastName ?ln . ?p snb:gender ?g . "
-            "?p snb:birthday ?bd . ?p snb:browserUsed ?b . "
-            "?p snb:isLocatedIn ?c . ?c snb:id ?cid }",
-            {"id": person_id},
+            SPARQL_QUERIES["person_profile"][0], {"id": person_id}
         )
         return rows[0] if rows else ()
 
     def person_recent_posts(self, person_id: int, limit: int = 10) -> list:
         rows = self._query(
-            "SELECT ?mid ?content ?d WHERE { ?p snb:id $id . "
-            "?p rdf:type snb:Person . ?m snb:hasCreator ?p . "
-            "?m snb:id ?mid . ?m snb:content ?content . "
-            "?m snb:creationDate ?d } ORDER BY DESC(?d) DESC(?mid) "
-            f"LIMIT {int(limit)}",
+            SPARQL_QUERIES["person_recent_posts"][0]
+            + f" LIMIT {int(limit)}",
             {"id": person_id},
         )
         return rows
 
     def person_friends(self, person_id: int) -> list[tuple]:
         return self._query(
-            "SELECT ?fid ?fn ?ln WHERE { ?p snb:id $id . "
-            "?p rdf:type snb:Person . ?p snb:knows ?f . ?f snb:id ?fid . "
-            "?f snb:firstName ?fn . ?f snb:lastName ?ln } ORDER BY ?fid",
-            {"id": person_id},
+            SPARQL_QUERIES["person_friends"][0], {"id": person_id}
         )
 
     def message_content(self, message_id: int) -> tuple:
         rows = self._query(
-            "SELECT ?content ?d WHERE { ?m snb:id $id . "
-            "?m snb:content ?content . ?m snb:creationDate ?d }",
-            {"id": message_id},
+            SPARQL_QUERIES["message_content"][0], {"id": message_id}
         )
         return rows[0] if rows else ()
 
     def message_creator(self, message_id: int) -> tuple:
         rows = self._query(
-            "SELECT ?pid ?fn ?ln WHERE { ?m snb:id $id . "
-            "?m snb:content ?c . ?m snb:hasCreator ?p . ?p snb:id ?pid . "
-            "?p snb:firstName ?fn . ?p snb:lastName ?ln }",
-            {"id": message_id},
+            SPARQL_QUERIES["message_creator"][0], {"id": message_id}
         )
         return rows[0] if rows else ()
 
     def message_forum(self, message_id: int) -> tuple:
         rows = self._query(
-            "SELECT ?fid ?title ?modid WHERE { ?m snb:id $id . "
-            "?m rdf:type snb:Post . ?f snb:containerOf ?m . "
-            "?f snb:id ?fid . ?f snb:title ?title . "
-            "?f snb:hasModerator ?mod . ?mod snb:id ?modid }",
-            {"id": message_id},
+            SPARQL_QUERIES["message_forum"][0], {"id": message_id}
         )
         if not rows:
             rows = self._query(
-                "SELECT ?fid ?title ?modid WHERE { ?m snb:id $id . "
-                "?m rdf:type snb:Comment . ?m snb:rootPost ?root . "
-                "?f snb:containerOf ?root . ?f snb:id ?fid . "
-                "?f snb:title ?title . ?f snb:hasModerator ?mod . "
-                "?mod snb:id ?modid }",
-                {"id": message_id},
+                SPARQL_QUERIES["message_forum"][1], {"id": message_id}
             )
         return rows[0] if rows else ()
 
     def message_replies(self, message_id: int) -> list[tuple]:
         return self._query(
-            "SELECT ?cid ?pid ?d WHERE { ?m snb:id $id . "
-            "?m snb:content ?x . ?c snb:replyOf ?m . ?c snb:id ?cid . "
-            "?c snb:hasCreator ?p . ?p snb:id ?pid . "
-            "?c snb:creationDate ?d } ORDER BY ?cid",
-            {"id": message_id},
+            SPARQL_QUERIES["message_replies"][0], {"id": message_id}
         )
 
     def complex_two_hop(self, person_id: int, limit: int = 20) -> list[tuple]:
         return self._query(
-            "SELECT DISTINCT ?fofid ?fn ?ln WHERE { ?p snb:id $id . "
-            "?p rdf:type snb:Person . ?p snb:knows ?f . "
-            "?f snb:knows ?fof . ?fof snb:id ?fofid . "
-            "?fof snb:firstName ?fn . ?fof snb:lastName ?ln . "
-            "FILTER(?fofid != $id) } ORDER BY ?fofid "
-            f"LIMIT {int(limit)}",
+            SPARQL_QUERIES["complex_two_hop"][0] + f" LIMIT {int(limit)}",
             {"id": person_id},
         )
 
@@ -377,11 +422,8 @@ class VirtuosoSparqlConnector(Connector):
         self, person_id: int, limit: int = 10
     ) -> list[tuple]:
         return self._query(
-            "SELECT ?mid ?fid ?content ?d WHERE { ?p snb:id $id . "
-            "?p rdf:type snb:Person . ?p snb:knows ?f . ?f snb:id ?fid . "
-            "?m snb:hasCreator ?f . ?m snb:id ?mid . "
-            "?m snb:content ?content . ?m snb:creationDate ?d } "
-            f"ORDER BY DESC(?d) DESC(?mid) LIMIT {int(limit)}",
+            SPARQL_QUERIES["friends_recent_posts"][0]
+            + f" LIMIT {int(limit)}",
             {"id": person_id},
         )
 

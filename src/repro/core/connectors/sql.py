@@ -86,6 +86,101 @@ _BFS_SQL = (
 )
 
 
+#: every DML/query statement the connector issues, by operation; DDL is
+#: carried as ``schema`` / ``indexes``.  Statements with a
+#: caller-supplied LIMIT are stored without the clause; the methods
+#: append ``LIMIT <n>`` at call time.  Validated against the schema
+#: catalog (see :mod:`repro.analysis`) at construction.
+SQL_QUERIES: dict[str, tuple[str, ...]] = {
+    "schema": tuple(_SCHEMA),
+    "indexes": tuple(_INDEXES),
+    "point_lookup": (
+        "SELECT firstname, lastname, gender FROM person WHERE id = ?",
+    ),
+    "one_hop": ("SELECT p2 FROM knows WHERE p1 = ? ORDER BY p2",),
+    "two_hop": (
+        "SELECT DISTINCT k2.p2 FROM knows k1 "
+        "JOIN knows k2 ON k2.p1 = k1.p2 "
+        "WHERE k1.p1 = ? AND k2.p2 <> ? ORDER BY k2.p2",
+    ),
+    "shortest_path": (
+        _BFS_SQL,
+        "SELECT shortest_path_len('knows', 'p1', 'p2', ?, ?)",
+    ),
+    "person_profile": (
+        "SELECT firstname, lastname, gender, birthday, browserused, "
+        "cityid FROM person WHERE id = ?",
+    ),
+    "person_recent_posts": (
+        "SELECT id, content, creationdate FROM post "
+        "WHERE creatorid = ? ORDER BY creationdate DESC, id DESC",
+        "SELECT id, content, creationdate FROM comment "
+        "WHERE creatorid = ? ORDER BY creationdate DESC, id DESC",
+    ),
+    "person_friends": (
+        "SELECT p.id, p.firstname, p.lastname FROM knows k "
+        "JOIN person p ON p.id = k.p2 WHERE k.p1 = ? ORDER BY p.id",
+    ),
+    "message_content": (
+        "SELECT content, creationdate FROM post WHERE id = ?",
+        "SELECT content, creationdate FROM comment WHERE id = ?",
+    ),
+    "message_creator": (
+        "SELECT p.id, p.firstname, p.lastname FROM post m "
+        "JOIN person p ON p.id = m.creatorid WHERE m.id = ?",
+        "SELECT p.id, p.firstname, p.lastname FROM comment m "
+        "JOIN person p ON p.id = m.creatorid WHERE m.id = ?",
+    ),
+    "message_forum": (
+        "SELECT f.id, f.title, f.moderatorid FROM post m "
+        "JOIN forum f ON f.id = m.forumid WHERE m.id = ?",
+        "SELECT f.id, f.title, f.moderatorid FROM comment c "
+        "JOIN post m ON m.id = c.rootpost "
+        "JOIN forum f ON f.id = m.forumid WHERE c.id = ?",
+    ),
+    "message_replies": (
+        "SELECT id, creatorid, creationdate FROM comment "
+        "WHERE replyof = ? ORDER BY id",
+    ),
+    "complex_two_hop": (
+        "SELECT DISTINCT p.id, p.firstname, p.lastname FROM knows k1 "
+        "JOIN knows k2 ON k2.p1 = k1.p2 "
+        "JOIN person p ON p.id = k2.p2 "
+        "WHERE k1.p1 = ? AND k2.p2 <> ? ORDER BY p.id",
+    ),
+    "friends_recent_posts": (
+        "SELECT m.id, m.creatorid, m.content, m.creationdate "
+        "FROM knows k JOIN post m ON m.creatorid = k.p2 "
+        "WHERE k.p1 = ? ORDER BY m.creationdate DESC, m.id DESC",
+        "SELECT m.id, m.creatorid, m.content, m.creationdate "
+        "FROM knows k JOIN comment m ON m.creatorid = k.p2 "
+        "WHERE k.p1 = ? ORDER BY m.creationdate DESC, m.id DESC",
+    ),
+    "add_person": (
+        "INSERT INTO person VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+        "INSERT INTO person_speaks VALUES (?, ?)",
+        "INSERT INTO person_interest VALUES (?, ?)",
+    ),
+    "add_friendship": ("INSERT INTO knows VALUES (?, ?, ?)",),
+    "add_forum": (
+        "INSERT INTO forum VALUES (?, ?, ?, ?)",
+        "INSERT INTO forum_tag VALUES (?, ?)",
+    ),
+    "add_forum_membership": (
+        "INSERT INTO forum_member VALUES (?, ?, ?)",
+    ),
+    "add_post": (
+        "INSERT INTO post VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+        "INSERT INTO post_tag VALUES (?, ?)",
+    ),
+    "add_comment": (
+        "INSERT INTO comment VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+        "INSERT INTO comment_tag VALUES (?, ?)",
+    ),
+    "add_like": ("INSERT INTO likes VALUES (?, ?, ?)",),
+}
+
+
 class SqlConnector(Connector):
     """Shared implementation; see :class:`PostgresConnector` and
     :class:`VirtuosoSqlConnector` for the two configurations."""
@@ -93,7 +188,11 @@ class SqlConnector(Connector):
     storage = "row"
     transitive_support = False
 
+    dialect = "sql"
+    query_catalog = SQL_QUERIES
+
     def __init__(self) -> None:
+        self._validate_queries()
         self.db = Database(
             self.storage,
             name=self.key,
@@ -198,23 +297,17 @@ class SqlConnector(Connector):
 
     def point_lookup(self, person_id: int) -> tuple:
         rows = self._query(
-            "SELECT firstname, lastname, gender FROM person WHERE id = ?",
-            (person_id,),
+            SQL_QUERIES["point_lookup"][0], (person_id,)
         )
         return rows[0] if rows else ()
 
     def one_hop(self, person_id: int) -> list[int]:
-        rows = self._query(
-            "SELECT p2 FROM knows WHERE p1 = ? ORDER BY p2", (person_id,)
-        )
+        rows = self._query(SQL_QUERIES["one_hop"][0], (person_id,))
         return [r[0] for r in rows]
 
     def two_hop(self, person_id: int) -> list[int]:
         rows = self._query(
-            "SELECT DISTINCT k2.p2 FROM knows k1 "
-            "JOIN knows k2 ON k2.p1 = k1.p2 "
-            "WHERE k1.p1 = ? AND k2.p2 <> ? ORDER BY k2.p2",
-            (person_id, person_id),
+            SQL_QUERIES["two_hop"][0], (person_id, person_id)
         )
         return [r[0] for r in rows]
 
@@ -223,35 +316,30 @@ class SqlConnector(Connector):
             return 0
         if self.transitive_support:
             rows = self._query(
-                "SELECT shortest_path_len('knows', 'p1', 'p2', ?, ?)",
-                (person1, person2),
+                SQL_QUERIES["shortest_path"][1], (person1, person2)
             )
         else:
-            rows = self._query(_BFS_SQL, (person1, person2))
+            rows = self._query(
+                SQL_QUERIES["shortest_path"][0], (person1, person2)
+            )
         return rows[0][0] if rows else None
 
     # -- short reads -------------------------------------------------------------------
 
     def person_profile(self, person_id: int) -> tuple:
         rows = self._query(
-            "SELECT firstname, lastname, gender, birthday, browserused, "
-            "cityid FROM person WHERE id = ?",
-            (person_id,),
+            SQL_QUERIES["person_profile"][0], (person_id,)
         )
         return rows[0] if rows else ()
 
     def person_recent_posts(self, person_id: int, limit: int = 10) -> list:
         limit = int(limit)
         posts = self._query(
-            "SELECT id, content, creationdate FROM post "
-            "WHERE creatorid = ? ORDER BY creationdate DESC, id DESC "
-            f"LIMIT {limit}",
+            SQL_QUERIES["person_recent_posts"][0] + f" LIMIT {limit}",
             (person_id,),
         )
         comments = self._query(
-            "SELECT id, content, creationdate FROM comment "
-            "WHERE creatorid = ? ORDER BY creationdate DESC, id DESC "
-            f"LIMIT {limit}",
+            SQL_QUERIES["person_recent_posts"][1] + f" LIMIT {limit}",
             (person_id,),
         )
         merged = sorted(
@@ -261,66 +349,47 @@ class SqlConnector(Connector):
 
     def person_friends(self, person_id: int) -> list[tuple]:
         return self._query(
-            "SELECT p.id, p.firstname, p.lastname FROM knows k "
-            "JOIN person p ON p.id = k.p2 WHERE k.p1 = ? ORDER BY p.id",
-            (person_id,),
+            SQL_QUERIES["person_friends"][0], (person_id,)
         )
 
     def message_content(self, message_id: int) -> tuple:
         rows = self._query(
-            "SELECT content, creationdate FROM post WHERE id = ?",
-            (message_id,),
+            SQL_QUERIES["message_content"][0], (message_id,)
         )
         if not rows:
             rows = self._query(
-                "SELECT content, creationdate FROM comment WHERE id = ?",
-                (message_id,),
+                SQL_QUERIES["message_content"][1], (message_id,)
             )
         return rows[0] if rows else ()
 
     def message_creator(self, message_id: int) -> tuple:
         rows = self._query(
-            "SELECT p.id, p.firstname, p.lastname FROM post m "
-            "JOIN person p ON p.id = m.creatorid WHERE m.id = ?",
-            (message_id,),
+            SQL_QUERIES["message_creator"][0], (message_id,)
         )
         if not rows:
             rows = self._query(
-                "SELECT p.id, p.firstname, p.lastname FROM comment m "
-                "JOIN person p ON p.id = m.creatorid WHERE m.id = ?",
-                (message_id,),
+                SQL_QUERIES["message_creator"][1], (message_id,)
             )
         return rows[0] if rows else ()
 
     def message_forum(self, message_id: int) -> tuple:
         rows = self._query(
-            "SELECT f.id, f.title, f.moderatorid FROM post m "
-            "JOIN forum f ON f.id = m.forumid WHERE m.id = ?",
-            (message_id,),
+            SQL_QUERIES["message_forum"][0], (message_id,)
         )
         if not rows:
             rows = self._query(
-                "SELECT f.id, f.title, f.moderatorid FROM comment c "
-                "JOIN post m ON m.id = c.rootpost "
-                "JOIN forum f ON f.id = m.forumid WHERE c.id = ?",
-                (message_id,),
+                SQL_QUERIES["message_forum"][1], (message_id,)
             )
         return rows[0] if rows else ()
 
     def message_replies(self, message_id: int) -> list[tuple]:
         return self._query(
-            "SELECT id, creatorid, creationdate FROM comment "
-            "WHERE replyof = ? ORDER BY id",
-            (message_id,),
+            SQL_QUERIES["message_replies"][0], (message_id,)
         )
 
     def complex_two_hop(self, person_id: int, limit: int = 20) -> list[tuple]:
         rows = self._query(
-            "SELECT DISTINCT p.id, p.firstname, p.lastname FROM knows k1 "
-            "JOIN knows k2 ON k2.p1 = k1.p2 "
-            "JOIN person p ON p.id = k2.p2 "
-            "WHERE k1.p1 = ? AND k2.p2 <> ? ORDER BY p.id",
-            (person_id, person_id),
+            SQL_QUERIES["complex_two_hop"][0], (person_id, person_id)
         )
         return rows[:limit]
 
@@ -329,17 +398,11 @@ class SqlConnector(Connector):
     ) -> list[tuple]:
         limit = int(limit)
         posts = self._query(
-            "SELECT m.id, m.creatorid, m.content, m.creationdate "
-            "FROM knows k JOIN post m ON m.creatorid = k.p2 "
-            "WHERE k.p1 = ? "
-            f"ORDER BY m.creationdate DESC, m.id DESC LIMIT {limit}",
+            SQL_QUERIES["friends_recent_posts"][0] + f" LIMIT {limit}",
             (person_id,),
         )
         comments = self._query(
-            "SELECT m.id, m.creatorid, m.content, m.creationdate "
-            "FROM knows k JOIN comment m ON m.creatorid = k.p2 "
-            "WHERE k.p1 = ? "
-            f"ORDER BY m.creationdate DESC, m.id DESC LIMIT {limit}",
+            SQL_QUERIES["friends_recent_posts"][1] + f" LIMIT {limit}",
             (person_id,),
         )
         merged = sorted(posts + comments, key=lambda r: (-r[3], -r[0]))
@@ -351,31 +414,29 @@ class SqlConnector(Connector):
         charge("client_rtt")
         with self.db.transaction():
             self.db.execute(
-                "INSERT INTO person VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                SQL_QUERIES["add_person"][0],
                 (person.id, person.first_name, person.last_name,
                  person.gender, person.birthday, person.creation_date,
                  person.location_ip, person.browser_used, person.city),
             )
             for language in person.speaks:
                 self.db.execute(
-                    "INSERT INTO person_speaks VALUES (?, ?)",
-                    (person.id, language),
+                    SQL_QUERIES["add_person"][1], (person.id, language)
                 )
             for tag_id in person.interests:
                 self.db.execute(
-                    "INSERT INTO person_interest VALUES (?, ?)",
-                    (person.id, tag_id),
+                    SQL_QUERIES["add_person"][2], (person.id, tag_id)
                 )
 
     def add_friendship(self, knows: Knows) -> None:
         charge("client_rtt")
         with self.db.transaction():
             self.db.execute(
-                "INSERT INTO knows VALUES (?, ?, ?)",
+                SQL_QUERIES["add_friendship"][0],
                 (knows.person1, knows.person2, knows.creation_date),
             )
             self.db.execute(
-                "INSERT INTO knows VALUES (?, ?, ?)",
+                SQL_QUERIES["add_friendship"][0],
                 (knows.person2, knows.person1, knows.creation_date),
             )
 
@@ -383,17 +444,17 @@ class SqlConnector(Connector):
         charge("client_rtt")
         with self.db.transaction():
             self.db.execute(
-                "INSERT INTO forum VALUES (?, ?, ?, ?)",
+                SQL_QUERIES["add_forum"][0],
                 (forum.id, forum.title, forum.creation_date, forum.moderator),
             )
             for tag_id in forum.tags:
                 self.db.execute(
-                    "INSERT INTO forum_tag VALUES (?, ?)", (forum.id, tag_id)
+                    SQL_QUERIES["add_forum"][1], (forum.id, tag_id)
                 )
 
     def add_forum_membership(self, membership: ForumMembership) -> None:
         self._execute(
-            "INSERT INTO forum_member VALUES (?, ?, ?)",
+            SQL_QUERIES["add_forum_membership"][0],
             (membership.forum, membership.person, membership.join_date),
         )
 
@@ -401,21 +462,21 @@ class SqlConnector(Connector):
         charge("client_rtt")
         with self.db.transaction():
             self.db.execute(
-                "INSERT INTO post VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                SQL_QUERIES["add_post"][0],
                 (post.id, post.creation_date, post.creator, post.forum,
                  post.content, post.length, post.browser_used,
                  post.location_ip, post.language, post.country),
             )
             for tag_id in post.tags:
                 self.db.execute(
-                    "INSERT INTO post_tag VALUES (?, ?)", (post.id, tag_id)
+                    SQL_QUERIES["add_post"][1], (post.id, tag_id)
                 )
 
     def add_comment(self, comment: Comment) -> None:
         charge("client_rtt")
         with self.db.transaction():
             self.db.execute(
-                "INSERT INTO comment VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                SQL_QUERIES["add_comment"][0],
                 (comment.id, comment.creation_date, comment.creator,
                  comment.reply_of, comment.root_post, comment.content,
                  comment.length, comment.browser_used, comment.location_ip,
@@ -423,13 +484,12 @@ class SqlConnector(Connector):
             )
             for tag_id in comment.tags:
                 self.db.execute(
-                    "INSERT INTO comment_tag VALUES (?, ?)",
-                    (comment.id, tag_id),
+                    SQL_QUERIES["add_comment"][1], (comment.id, tag_id)
                 )
 
     def add_like(self, like: Like) -> None:
         self._execute(
-            "INSERT INTO likes VALUES (?, ?, ?)",
+            SQL_QUERIES["add_like"][0],
             (like.person, like.message, like.creation_date),
         )
 

@@ -1,0 +1,51 @@
+"""Cross-dialect consistency: the four catalogs answer one workload."""
+
+from repro.analysis import check_consistency
+from repro.analysis.consistency import READ_OPERATIONS
+from repro.analysis.linter import analyze_catalog, connector_catalogs
+
+
+def built_in_results():
+    return {
+        dialect: analyze_catalog(dialect, queries)
+        for dialect, queries in connector_catalogs().items()
+    }
+
+
+class TestBuiltinCatalogs:
+    def test_catalogs_agree(self):
+        diagnostics = check_consistency(built_in_results())
+        assert diagnostics == [], [str(d) for d in diagnostics]
+
+    def test_every_read_operation_is_present_everywhere(self):
+        per_dialect = built_in_results()
+        for dialect, results in per_dialect.items():
+            for operation in READ_OPERATIONS:
+                assert operation in results, (dialect, operation)
+
+
+class TestMutations:
+    def test_missing_operation(self):
+        per_dialect = built_in_results()
+        del per_dialect["sql"]["one_hop"]
+        diagnostics = check_consistency(per_dialect)
+        assert [d.code for d in diagnostics] == ["QA402"]
+        assert "sql" in diagnostics[0].message
+        assert "one_hop" in str(diagnostics[0].location)
+
+    def test_swapped_edge_type_diverges(self):
+        # one_hop rewritten to traverse LIKES instead of KNOWS: still a
+        # well-formed query (so the walker stays silent) but it touches
+        # a different schema footprint than the other three dialects
+        per_dialect = built_in_results()
+        mutated = dict(connector_catalogs()["cypher"])
+        mutated["one_hop"] = (
+            "MATCH (p:Person {id: $id})-[:LIKES]->(m:Message) "
+            "RETURN m.id AS id ORDER BY id",
+        )
+        per_dialect["cypher"] = analyze_catalog("cypher", mutated)
+        assert per_dialect["cypher"]["one_hop"].diagnostics == []
+        diagnostics = check_consistency(per_dialect)
+        assert [d.code for d in diagnostics] == ["QA401"]
+        assert "cypher" in diagnostics[0].message
+        assert "likes" in diagnostics[0].message

@@ -1,0 +1,93 @@
+"""The lock-order pass: AB/BA cycles in synthetic sources, and the
+absence of any such cycle in the repository itself."""
+
+from repro.analysis import analyze_lock_order
+from repro.analysis.lockorder import analyze_lock_order_sources
+
+X = "LockMode.EXCLUSIVE"
+
+
+def qa501(diagnostics):
+    return [d for d in diagnostics if d.code == "QA501"]
+
+
+class TestSyntheticSources:
+    def test_two_way_cycle(self):
+        diagnostics = analyze_lock_order_sources({
+            "a.py": (
+                "def path_one(m, t):\n"
+                f"    m.acquire(t, 'A', {X})\n"
+                f"    m.acquire(t, 'B', {X})\n"
+            ),
+            "b.py": (
+                "def path_two(m, t):\n"
+                f"    m.acquire(t, 'B', {X})\n"
+                f"    m.acquire(t, 'A', {X})\n"
+            ),
+        })
+        found = qa501(diagnostics)
+        assert len(found) == 1
+        message = found[0].message
+        assert "path_one" in message and "path_two" in message
+        assert "'A'" in message and "'B'" in message
+
+    def test_three_way_cycle(self):
+        diagnostics = analyze_lock_order_sources({
+            "c.py": (
+                "def f1(m, t):\n"
+                f"    m.acquire(t, 'A', {X})\n"
+                f"    m.acquire(t, 'B', {X})\n"
+                "def f2(m, t):\n"
+                f"    m.acquire(t, 'B', {X})\n"
+                f"    m.acquire(t, 'C', {X})\n"
+                "def f3(m, t):\n"
+                f"    m.acquire(t, 'C', {X})\n"
+                f"    m.acquire(t, 'A', {X})\n"
+            ),
+        })
+        found = qa501(diagnostics)
+        assert len(found) == 1
+        assert "'A'" in found[0].message
+        assert "'C'" in found[0].message
+
+    def test_consistent_order_is_clean(self):
+        diagnostics = analyze_lock_order_sources({
+            "d.py": (
+                "def f1(m, t):\n"
+                f"    m.acquire(t, 'A', {X})\n"
+                f"    m.acquire(t, 'B', {X})\n"
+                "def f2(m, t):\n"
+                f"    m.acquire(t, 'A', {X})\n"
+                f"    m.acquire(t, 'C', {X})\n"
+            ),
+        })
+        assert qa501(diagnostics) == []
+
+    def test_try_acquire_cannot_deadlock(self):
+        diagnostics = analyze_lock_order_sources({
+            "e.py": (
+                "def f1(m, t):\n"
+                f"    m.acquire(t, 'A', {X})\n"
+                f"    m.try_acquire(t, 'B', {X})\n"
+                "def f2(m, t):\n"
+                f"    m.acquire(t, 'B', {X})\n"
+                f"    m.try_acquire(t, 'A', {X})\n"
+            ),
+        })
+        assert qa501(diagnostics) == []
+
+    def test_reacquiring_the_same_resource_is_not_a_cycle(self):
+        diagnostics = analyze_lock_order_sources({
+            "f.py": (
+                "def f1(m, t):\n"
+                f"    m.acquire(t, 'A', {X})\n"
+                f"    m.acquire(t, 'A', {X})\n"
+            ),
+        })
+        assert qa501(diagnostics) == []
+
+
+class TestRepository:
+    def test_the_package_has_no_conflicting_lock_orders(self):
+        diagnostics = analyze_lock_order()
+        assert qa501(diagnostics) == [], [str(d) for d in diagnostics]

@@ -1,0 +1,79 @@
+"""The SPARQL walker: clean built-in catalog, seeded-defect detection."""
+
+from repro.analysis import analyze_sparql
+from repro.core.connectors.sparql import SPARQL_QUERIES
+
+
+def codes(queries, operation="test"):
+    return [d.code for d in analyze_sparql(operation, queries).diagnostics]
+
+
+class TestBuiltinCatalog:
+    def test_every_operation_is_clean(self):
+        for operation, queries in SPARQL_QUERIES.items():
+            result = analyze_sparql(operation, queries)
+            assert result.diagnostics == [], (
+                operation,
+                [str(d) for d in result.diagnostics],
+            )
+
+    def test_one_hop_footprint(self):
+        result = analyze_sparql("one_hop", SPARQL_QUERIES["one_hop"])
+        assert "knows" in result.footprint
+        assert "person" in result.footprint
+
+
+class TestMutations:
+    def test_unknown_class(self):
+        assert codes(
+            ("SELECT ?p WHERE { ?p rdf:type snb:Persn . "
+             "?p snb:id $id }",)
+        ) == ["QA101"]
+
+    def test_unknown_predicate(self):
+        assert codes(
+            ("SELECT ?x WHERE { ?p snb:id $id . ?p snb:nickname ?x }",)
+        ) == ["QA102"]
+
+    def test_parse_error(self):
+        assert codes(("SELECT WHERE {",)) == ["QA105"]
+
+    def test_unbound_variable_in_select(self):
+        assert codes(
+            ("SELECT ?ghost WHERE { ?p snb:id $id }",)
+        ) == ["QA107"]
+
+    def test_unbound_variable_in_order_by(self):
+        assert codes(
+            ("SELECT ?p WHERE { ?p snb:id $id } ORDER BY ?ghost",)
+        ) == ["QA107"]
+
+    def test_wrong_typed_literal_object(self):
+        # firstName is declared str; 42 is an int literal
+        assert codes(
+            ('SELECT ?p WHERE { ?p snb:id $id . ?p snb:firstName 42 }',)
+        ) == ["QA201"]
+
+    def test_wrong_typed_filter_comparison(self):
+        assert codes(
+            ('SELECT ?fn WHERE { ?p snb:id $id . '
+             '?p snb:firstName ?fn . FILTER(?fn = 42) }',)
+        ) == ["QA201"]
+
+    def test_contradictory_narrowing_is_an_endpoint_mismatch(self):
+        # containerOf makes ?m a post; knows requires a person subject
+        assert "QA202" in codes(
+            ("SELECT ?x WHERE { ?f snb:containerOf ?m . "
+             "?m snb:knows ?x . ?f snb:id $id }",)
+        )
+
+    def test_cartesian_product(self):
+        assert codes(
+            ("SELECT ?a ?b WHERE { ?a snb:knows ?x . "
+             "?b snb:hasCreator ?y }",)
+        ) == ["QA301"]
+
+    def test_param_anchored_groups_are_fine(self):
+        assert codes(
+            ("SELECT ?a ?b WHERE { ?a snb:id $x . ?b snb:id $y }",)
+        ) == []

@@ -1,0 +1,86 @@
+"""Property tests for the metric primitives the paper's tables are
+computed from: nearest-rank percentiles and windowed throughput."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.metrics import LatencyRecorder, ThroughputWindow
+
+samples = st.lists(
+    st.floats(
+        min_value=0.0,
+        max_value=1e6,
+        allow_nan=False,
+        allow_infinity=False,
+    ),
+    min_size=1,
+    max_size=100,
+)
+percentiles = st.floats(min_value=0.0, max_value=100.0)
+
+
+def recorder(values):
+    rec = LatencyRecorder()
+    for value in values:
+        rec.record(value)
+    return rec
+
+
+class TestPercentile:
+    @given(samples)
+    def test_p0_is_the_minimum(self, values):
+        assert recorder(values).percentile(0) == min(values)
+
+    @given(samples)
+    def test_p100_is_the_maximum(self, values):
+        assert recorder(values).percentile(100) == max(values)
+
+    @given(samples, percentiles)
+    def test_result_is_always_a_sample(self, values, p):
+        assert recorder(values).percentile(p) in values
+
+    @given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+           percentiles)
+    def test_single_sample_dominates_every_percentile(self, value, p):
+        assert recorder([value]).percentile(p) == value
+
+    @given(samples, percentiles, percentiles)
+    def test_monotone_in_p(self, values, p1, p2):
+        low, high = sorted((p1, p2))
+        rec = recorder(values)
+        assert rec.percentile(low) <= rec.percentile(high)
+
+    @given(samples, st.one_of(
+        st.floats(max_value=-1e-9, min_value=-1e6),
+        st.floats(min_value=100.0 + 1e-6, max_value=1e6),
+    ))
+    def test_out_of_range_raises(self, values, p):
+        with pytest.raises(ValueError):
+            recorder(values).percentile(p)
+
+    def test_empty_recorder_is_nan(self):
+        assert math.isnan(LatencyRecorder().percentile(50))
+
+
+class TestMeanRate:
+    def test_zero_duration_is_zero(self):
+        window = ThroughputWindow()
+        window.record(1.0)
+        assert window.mean_rate(0.0) == 0.0
+
+    def test_negative_duration_is_zero(self):
+        assert ThroughputWindow().mean_rate(-5.0) == 0.0
+
+    @given(st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        max_size=50,
+    ), st.floats(min_value=1e-3, max_value=1e6))
+    def test_rate_is_total_over_seconds(self, at_times, duration_ms):
+        window = ThroughputWindow()
+        for at in at_times:
+            window.record(at)
+        expected = len(at_times) / (duration_ms / 1000.0)
+        assert window.mean_rate(duration_ms) == pytest.approx(expected)

@@ -1,7 +1,6 @@
 """Storage-layer edge cases: eviction correctness, WAL durability
 boundaries, B+tree boundary shapes, and LSM shadowing."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.simclock import meter
-from repro.titan import TitanProvider, titan_berkeley, titan_cassandra
+from repro.titan import titan_berkeley, titan_cassandra
 from repro.titan.graph import _encode_value, _pad
 
 

@@ -1,0 +1,80 @@
+"""DeadlockError cycle reporting: the wait-for graph names the exact
+transactions in the cycle, so the victim picker can act on it."""
+
+import pytest
+
+from repro.txn.locks import DeadlockError, LockConflict, LockManager, LockMode
+
+X = LockMode.EXCLUSIVE
+
+
+def blocked(manager, txn_id, resource):
+    """Acquire-or-wait: the harness's conflict path, condensed."""
+    with pytest.raises(LockConflict) as excinfo:
+        manager.acquire(txn_id, resource, X)
+    manager.register_wait(txn_id, excinfo.value.holders)
+
+
+class TestTwoWayCycle:
+    def test_cycle_names_both_transactions(self):
+        manager = LockManager()
+        manager.acquire(1, "A", X)
+        manager.acquire(2, "B", X)
+        blocked(manager, 1, "B")  # 1 waits on 2
+        with pytest.raises(DeadlockError) as excinfo:
+            blocked(manager, 2, "A")  # 2 waits on 1: closes the cycle
+        cycle = excinfo.value.cycle
+        assert cycle[0] == cycle[-1] == 2
+        assert set(cycle) == {1, 2}
+        assert len(cycle) == 3
+
+    def test_cycle_is_in_the_message(self):
+        manager = LockManager()
+        manager.acquire(1, "A", X)
+        manager.acquire(2, "B", X)
+        blocked(manager, 1, "B")
+        with pytest.raises(DeadlockError, match="deadlock among"):
+            blocked(manager, 2, "A")
+
+    def test_victim_release_breaks_the_cycle(self):
+        manager = LockManager()
+        manager.acquire(1, "A", X)
+        manager.acquire(2, "B", X)
+        blocked(manager, 1, "B")
+        with pytest.raises(DeadlockError):
+            blocked(manager, 2, "A")
+        # the failed wait left the graph unchanged; aborting txn 1
+        # removes its edges, so txn 2 can wait (and then acquire)
+        manager.release_all(1)
+        manager.register_wait(2, {1})
+        manager.acquire(2, "A", X)
+        assert manager.holders("A") == {2: X}
+
+
+class TestThreeWayCycle:
+    def test_cycle_names_all_three_transactions(self):
+        manager = LockManager()
+        manager.acquire(1, "A", X)
+        manager.acquire(2, "B", X)
+        manager.acquire(3, "C", X)
+        blocked(manager, 1, "B")  # 1 -> 2
+        blocked(manager, 2, "C")  # 2 -> 3
+        with pytest.raises(DeadlockError) as excinfo:
+            blocked(manager, 3, "A")  # 3 -> 1: closes the cycle
+        cycle = excinfo.value.cycle
+        assert cycle[0] == cycle[-1] == 3
+        assert set(cycle) == {1, 2, 3}
+        assert len(cycle) == 4
+        # the path walks the wait-for edges in order: 3 -> 1 -> 2 -> 3
+        assert cycle == [3, 1, 2, 3]
+
+    def test_unrelated_waiter_is_not_in_the_cycle(self):
+        manager = LockManager()
+        manager.acquire(1, "A", X)
+        manager.acquire(2, "B", X)
+        manager.acquire(4, "D", X)
+        blocked(manager, 1, "B")  # 1 -> 2
+        blocked(manager, 4, "A")  # 4 -> 1: no cycle through 4
+        with pytest.raises(DeadlockError) as excinfo:
+            blocked(manager, 2, "A")  # 2 -> 1: the 1/2 cycle closes
+        assert 4 not in excinfo.value.cycle
