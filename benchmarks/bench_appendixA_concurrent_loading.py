@@ -11,9 +11,8 @@ import pytest
 from repro.core import make_connector
 from repro.core.report import render_table
 from repro.driver import concurrent_load
-from repro.snb import GeneratorConfig, generate
 
-from conftest import SCALE_DIVISOR, banner
+from conftest import SCALE_DIVISOR, banner, dataset_for
 
 LOADER_COUNTS = [1, 2, 4, 8, 16]
 SYSTEMS = ["titan-c", "titan-b", "sqlg"]
@@ -23,11 +22,7 @@ SYSTEMS = ["titan-c", "titan-b", "sqlg"]
 def loading_dataset():
     """A reduced dataset: the matrix replays 15 full loads, so this bench
     runs at 4x the session divisor (rates scale, the shape does not)."""
-    return generate(
-        GeneratorConfig(
-            scale_factor=3, scale_divisor=SCALE_DIVISOR * 4, seed=42
-        )
-    )
+    return dataset_for(3, divisor=SCALE_DIVISOR * 4)
 
 
 def run_matrix(dataset):

@@ -1,0 +1,148 @@
+"""Optimizer smoke bench: cost-based ordering vs. textual order.
+
+Two designed worst cases, both 2-hop friend-of-friend lookups written in
+the most hostile textual order:
+
+* SQL — the FROM clause lists the join chain *reversed* (``knows k2``
+  first, the selective ``person.id`` filter last), so textual-order
+  planning hash-joins the two big ``knows`` tables before the point
+  filter ever applies.  Greedy reordering starts from the indexed
+  ``person`` lookup instead.
+* SPARQL — the triple patterns lead with the fully *unbound*
+  ``?f snb:knows ?fof``, which textual execution scans in full; the
+  statistics-based order starts from the single-subject ``snb:id``
+  anchor.
+
+Both variants must return identical answers; the optimized plans must be
+at least 2x faster in simulated time.  Results land in
+``BENCH_optimizer.json`` at the repo root (the CI perf-smoke artifact).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import make_connector
+from repro.simclock import CostModel, meter
+
+from conftest import SCALE_DIVISOR, banner
+
+MODEL = CostModel()
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_optimizer.json"
+REPS = 5
+
+#: worst-case SQL: join chain written backwards, anchor filter last
+SQL_REVERSED = (
+    "SELECT DISTINCT k2.p2 FROM knows k2 "
+    "JOIN knows k1 ON k2.p1 = k1.p2 "
+    "JOIN person p ON k1.p1 = p.id "
+    "WHERE p.id = {pid}"
+)
+
+#: worst-case SPARQL: the unbound 2-hop pattern leads, the anchor trails
+SPARQL_UNBOUND_FIRST = (
+    "SELECT DISTINCT ?fofid WHERE { "
+    "?f snb:knows ?fof . ?fof snb:id ?fofid . "
+    "?p snb:knows ?f . ?p snb:id $id . ?p rdf:type snb:Person } "
+    "ORDER BY ?fofid"
+)
+
+
+@pytest.fixture(scope="module")
+def sql_db(sf10_dataset):
+    connector = make_connector("postgres-sql")
+    connector.load(sf10_dataset)  # load() runs ANALYZE
+    return connector.db
+
+
+@pytest.fixture(scope="module")
+def sparql_db(sf10_dataset):
+    connector = make_connector("virtuoso-sparql")
+    connector.load(sf10_dataset)
+    return connector.db
+
+
+def _measure(run) -> float:
+    """Median simulated latency (ms) of ``run`` over REPS repetitions."""
+    costs = []
+    for _ in range(REPS):
+        with meter() as ledger:
+            run()
+        costs.append(ledger.cost_us(MODEL) / 1000.0)
+    return sorted(costs)[len(costs) // 2]
+
+
+def _record(results: dict, name: str, textual_ms: float,
+            optimized_ms: float) -> None:
+    results[name] = {
+        "textual_ms": round(textual_ms, 3),
+        "optimized_ms": round(optimized_ms, 3),
+        "speedup": round(textual_ms / optimized_ms, 2),
+    }
+
+
+_RESULTS: dict[str, dict] = {}
+
+
+def test_sql_two_hop_reversed_from(sf10_dataset, sql_db):
+    pid = sf10_dataset.persons[0].id
+    sql = SQL_REVERSED.format(pid=pid)
+
+    optimized_rows = sql_db.query(sql)
+    optimized_ms = _measure(lambda: sql_db.query(sql))
+    sql_db.set_join_reordering(False)
+    try:
+        textual_rows = sql_db.query(sql)
+        textual_ms = _measure(lambda: sql_db.query(sql))
+    finally:
+        sql_db.set_join_reordering(True)
+
+    assert sorted(optimized_rows) == sorted(textual_rows)
+    _record(_RESULTS, "sql_two_hop_reversed_from", textual_ms, optimized_ms)
+    assert textual_ms >= 2.0 * optimized_ms
+
+
+def test_sparql_two_hop_unbound_first(sf10_dataset, sparql_db):
+    params = {"id": sf10_dataset.persons[0].id}
+
+    optimized_rows = sparql_db.execute(SPARQL_UNBOUND_FIRST, params)
+    optimized_ms = _measure(
+        lambda: sparql_db.execute(SPARQL_UNBOUND_FIRST, params)
+    )
+    sparql_db.executor.order_mode = "textual"
+    try:
+        textual_rows = sparql_db.execute(SPARQL_UNBOUND_FIRST, params)
+        textual_ms = _measure(
+            lambda: sparql_db.execute(SPARQL_UNBOUND_FIRST, params)
+        )
+    finally:
+        sparql_db.executor.order_mode = "stats"
+
+    assert optimized_rows == textual_rows
+    _record(
+        _RESULTS, "sparql_two_hop_unbound_first", textual_ms, optimized_ms
+    )
+    assert textual_ms >= 2.0 * optimized_ms
+
+
+def test_write_report():
+    """Runs last: persist the artifact the CI perf-smoke job uploads."""
+    assert _RESULTS, "ordering benches did not run"
+    report = {
+        "bench": "optimizer",
+        "scale_factor": 10,
+        "scale_divisor": SCALE_DIVISOR,
+        "repetitions": REPS,
+        "results": _RESULTS,
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(banner("Optimizer smoke: cost-based order vs. textual order"))
+    for name, row in _RESULTS.items():
+        print(
+            f"{name}: textual {row['textual_ms']:.2f} ms -> "
+            f"optimized {row['optimized_ms']:.2f} ms "
+            f"({row['speedup']:.1f}x)"
+        )

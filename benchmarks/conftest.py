@@ -19,6 +19,23 @@ from repro.snb import GeneratorConfig, generate
 SCALE_DIVISOR = float(os.environ.get("REPRO_SCALE_DIVISOR", "1000"))
 REPETITIONS = int(os.environ.get("REPRO_REPS", "20"))
 
+#: (scale_factor, divisor, seed) -> generated dataset.  Generation is
+#: deterministic, so identical parameters always yield the same snapshot;
+#: benches that want their own scale no longer pay for a regeneration.
+_DATASET_CACHE: dict[tuple[float, float, int], object] = {}
+
+
+def dataset_for(
+    scale_factor: float, *, divisor: float = SCALE_DIVISOR, seed: int = 42
+):
+    """The (cached) SNB snapshot for one (scale, divisor, seed) triple."""
+    key = (float(scale_factor), float(divisor), seed)
+    if key not in _DATASET_CACHE:
+        _DATASET_CACHE[key] = generate(GeneratorConfig(
+            scale_factor=scale_factor, scale_divisor=divisor, seed=seed,
+        ))
+    return _DATASET_CACHE[key]
+
 
 def banner(title: str) -> str:
     return (
@@ -30,16 +47,12 @@ def banner(title: str) -> str:
 
 @pytest.fixture(scope="session")
 def sf3_dataset():
-    return generate(
-        GeneratorConfig(scale_factor=3, scale_divisor=SCALE_DIVISOR, seed=42)
-    )
+    return dataset_for(3)
 
 
 @pytest.fixture(scope="session")
 def sf10_dataset():
-    return generate(
-        GeneratorConfig(scale_factor=10, scale_divisor=SCALE_DIVISOR, seed=42)
-    )
+    return dataset_for(10)
 
 
 @pytest.fixture(scope="session")

@@ -9,6 +9,7 @@ from repro.analysis.diagnostics import Diagnostic, SourceLocation, make
 from repro.analysis.schema import SchemaCatalog, default_catalog
 from repro.graphdb.cypher import ast
 from repro.graphdb.cypher.parser import CypherParseError, parse
+from repro.stats import expected_entity_rows, format_rows
 
 _COMPARISONS = {"=", "<>", "<", "<=", ">", ">="}
 
@@ -308,9 +309,43 @@ def _check_comparison(
             out.append(make(
                 "QA302",
                 "comparison applies an expression to a property; "
-                "no index can serve it",
+                "no index can serve it" + _scan_estimate(side, env),
                 location,
             ))
+
+
+def _scan_estimate(expr: ast.Expr, env: dict[str, object]) -> str:
+    """Expected per-candidate scan size for the filtered variable."""
+    access = _first_prop_access(expr)
+    if access is None:
+        return ""
+    bound = env.get(access.var)
+    if not isinstance(bound, frozenset) or not bound:
+        return ""
+    rows = expected_entity_rows(bound)
+    if rows is None:
+        return ""
+    kinds = "/".join(sorted(bound))
+    return (
+        f" (filters {format_rows(rows)} {kinds} entities at SF10)"
+    )
+
+
+def _first_prop_access(expr: ast.Expr) -> ast.PropAccess | None:
+    if isinstance(expr, ast.PropAccess):
+        return expr
+    if isinstance(expr, ast.BinaryOp):
+        return _first_prop_access(expr.left) or _first_prop_access(
+            expr.right
+        )
+    if isinstance(expr, (ast.UnaryOp, ast.IsNull)):
+        return _first_prop_access(expr.operand)
+    if isinstance(expr, ast.FuncCall):
+        for arg in expr.args:
+            found = _first_prop_access(arg)
+            if found is not None:
+                return found
+    return None
 
 
 def _wraps_property(expr: ast.Expr) -> bool:

@@ -19,6 +19,7 @@ QA303    unanchored scan (traversal / query with no index anchor)
 QA401    cross-dialect schema-footprint mismatch for one operation
 QA402    operation missing from a dialect's catalog
 QA501    lock-order cycle across call sites
+QA502    multi-lock acquisition out of sorted resource order
 =======  ==============================================================
 """
 
@@ -51,6 +52,7 @@ CODES: dict[str, tuple[str, Severity]] = {
     "QA401": ("cross-dialect-mismatch", Severity.ERROR),
     "QA402": ("missing-operation", Severity.ERROR),
     "QA501": ("lock-order-cycle", Severity.ERROR),
+    "QA502": ("unsorted-lock-acquisition", Severity.WARNING),
 }
 
 

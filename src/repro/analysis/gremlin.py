@@ -20,6 +20,7 @@ from typing import Any
 from repro.analysis.cypher import AnalysisResult
 from repro.analysis.diagnostics import SourceLocation, make
 from repro.analysis.schema import Relationship, SchemaCatalog, default_catalog
+from repro.stats import expected_entity_rows, expected_vertex_count, format_rows
 from repro.tinkerpop import traversal as tv
 
 #: a catalog entry: (builder, sample keyword arguments)
@@ -85,7 +86,28 @@ class _Walker:
                     return
             elif not isinstance(step, tv.HasLabelStep):
                 break
-        self.emit("QA303", "traversal starts with an unanchored V() scan")
+        self.emit(
+            "QA303",
+            "traversal starts with an unanchored V() scan"
+            + self.vertex_estimate(first.label),
+        )
+
+    def vertex_estimate(self, label: str | None) -> str:
+        """Expected vertices touched by a full V()/V().hasLabel scan."""
+        if label is not None:
+            entities = self.catalog.gremlin_vertex_labels.get(label)
+            if entities is not None:
+                rows = expected_entity_rows(entities)
+                if rows is not None:
+                    return (
+                        f" (touches {format_rows(rows)} {label} "
+                        f"vertices at SF10)"
+                    )
+            return ""
+        return (
+            f" (touches {format_rows(expected_vertex_count())} "
+            f"vertices at SF10)"
+        )
 
     # -- the typestate walk ------------------------------------------------
 

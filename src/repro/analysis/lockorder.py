@@ -6,7 +6,12 @@ correct — the classic AB/BA hang.  This pass walks the Python AST of
 the package's sources, records the ordered resource expressions each
 function passes to ``LockManager.acquire`` (or acquires on a bare
 ``lock.acquire()``), builds a global resource-order graph, and reports
-any strongly connected component (QA501).
+any strongly connected component (QA501).  It also checks each function
+locally: a function acquiring several distinct resources out of sorted
+(textual) order gets QA502, since sorted acquisition is the convention
+that makes the global graph acyclic by construction
+(:meth:`~repro.txn.locks.LockManager.acquire_many` implements it at
+runtime).
 
 Resources are compared *textually* (the unparsed argument expression),
 so two call sites locking ``(table.name, key)`` are the same node; the
@@ -47,6 +52,7 @@ def analyze_lock_order_sources(
 ) -> list[Diagnostic]:
     #: (earlier resource, later resource) -> witness "file:function"s
     edges: dict[tuple[str, str], list[str]] = {}
+    unsorted: list[Diagnostic] = []
     for name, text in sources.items():
         try:
             tree = ast.parse(text)
@@ -64,7 +70,33 @@ def analyze_lock_order_sources(
                         edges.setdefault((earlier, later), []).append(
                             witness
                         )
-    return _report_cycles(edges)
+            diagnostic = _check_sorted(witness, name, sequence)
+            if diagnostic is not None:
+                unsorted.append(diagnostic)
+    return _report_cycles(edges) + unsorted
+
+
+def _check_sorted(
+    witness: str, filename: str, sequence: list[str]
+) -> Diagnostic | None:
+    """QA502 when a function's distinct lock tokens are not sorted.
+
+    Only first occurrences count: re-acquiring an earlier resource is a
+    re-entrant no-op for the :class:`LockManager`, not an ordering bug.
+    """
+    first_seen: list[str] = []
+    for token in sequence:
+        if token not in first_seen:
+            first_seen.append(token)
+    if len(first_seen) < 2 or first_seen == sorted(first_seen):
+        return None
+    return make(
+        "QA502",
+        f"{witness} acquires lock resources {first_seen} out of sorted "
+        f"order; unsorted multi-lock paths can deadlock against sorted "
+        f"ones (use LockManager.acquire_many)",
+        SourceLocation("python", filename),
+    )
 
 
 def _function_sequences(tree: ast.AST) -> list[tuple[str, list[str]]]:

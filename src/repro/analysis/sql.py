@@ -9,6 +9,7 @@ from repro.analysis.diagnostics import SourceLocation, make
 from repro.analysis.schema import SchemaCatalog, SqlTable, default_catalog
 from repro.relational.sql import ast
 from repro.relational.sql.parser import SqlParseError, parse
+from repro.stats import expected_table_rows, format_rows
 
 _COMPARISONS = {"=", "<>", "<", "<=", ">", ">="}
 _ARITHMETIC = {"+", "-", "*", "/"}
@@ -267,9 +268,51 @@ class _Checker:
                 self.out.append(make(
                     "QA302",
                     "comparison applies an expression to a column; "
-                    "no index can serve it",
+                    "no index can serve it"
+                    + self.scan_estimate(side, scope),
                     self.location,
                 ))
+
+    def scan_estimate(self, expr: ast.Expr, scope: dict[str, str]) -> str:
+        """Expected full-scan size for a non-sargable filter's table."""
+        ref = self.first_column(expr)
+        if ref is None:
+            return ""
+        sources = (
+            [scope.get(ref.table)] if ref.table is not None
+            else list(scope.values())
+        )
+        for source in sources:
+            if source is None or source in self.ctes:
+                continue
+            table = self.catalog.sql_tables.get(source)
+            if table is None or ref.column not in table.columns:
+                continue
+            rows = expected_table_rows(source)
+            if rows is not None:
+                return (
+                    f" (forces a scan of {source}: {format_rows(rows)} "
+                    f"rows at SF10)"
+                )
+        return ""
+
+    def first_column(self, expr: ast.Expr) -> ast.ColumnRef | None:
+        if isinstance(expr, ast.ColumnRef):
+            return expr
+        if isinstance(expr, ast.BinaryOp):
+            return self.first_column(expr.left) or self.first_column(
+                expr.right
+            )
+        if isinstance(expr, (ast.UnaryOp, ast.IsNull)):
+            return self.first_column(expr.operand)
+        if isinstance(expr, ast.InList):
+            return self.first_column(expr.needle)
+        if isinstance(expr, ast.FuncCall):
+            for arg in expr.args:
+                found = self.first_column(arg)
+                if found is not None:
+                    return found
+        return None
 
     def peek_column_type(
         self, ref: ast.ColumnRef, scope: dict[str, str]

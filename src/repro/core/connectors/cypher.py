@@ -227,6 +227,7 @@ class CypherConnector(Connector):
                 node_of[like.message],
                 {"creationDate": like.creation_date},
             )
+        self.db.analyze()
 
     def _load_person_direct(self, person: Person) -> None:
         store = self.db.store

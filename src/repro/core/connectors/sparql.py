@@ -201,6 +201,7 @@ class VirtuosoSparqlConnector(Connector):
         for like in dataset.likes:
             triples += self._like_triples(like)
         self.db.insert_triples(triples)
+        self.db.analyze()
 
     def _person_triples(self, person: Person) -> list[tuple]:
         iri = _pers(person.id)

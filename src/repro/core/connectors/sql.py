@@ -259,6 +259,7 @@ class SqlConnector(Connector):
                 t("likes").insert(
                     (like.person, like.message, like.creation_date)
                 )
+        self.db.analyze()
 
     def _load_person(self, person: Person) -> None:
         t = self.db.catalog.table

@@ -21,6 +21,7 @@ from typing import Any
 from repro.graphdb.cypher import ast
 from repro.graphdb.store import Direction, GraphStore
 from repro.simclock.ledger import charge
+from repro.stats import GraphStatistics
 
 AGGREGATE_FUNCS = {"count", "min", "max", "sum", "avg", "collect"}
 
@@ -62,6 +63,7 @@ class WriteSummary:
 class CypherExecutor:
     def __init__(self, store: GraphStore) -> None:
         self.store = store
+        self.stats: GraphStatistics | None = None
 
     # -- entry point ------------------------------------------------------------
 
@@ -208,11 +210,12 @@ class CypherExecutor:
     ) -> list[dict]:
         out: list[dict] = []
         pattern_vars = _pattern_variables(clause.patterns)
+        patterns = self._order_patterns(
+            list(clause.patterns), set(rows[0]) if rows else set()
+        )
         for row in rows:
             matched = False
-            for candidate in self._match_patterns(
-                row, list(clause.patterns), params
-            ):
+            for candidate in self._match_patterns(row, patterns, params):
                 if clause.where is not None and not self._eval(
                     clause.where, candidate, params
                 ):
@@ -243,7 +246,7 @@ class CypherExecutor:
             return
         nodes = pattern.nodes
         rels = pattern.rels
-        anchor = self._pick_anchor(row, nodes)
+        anchor = self._pick_anchor(row, nodes, rels)
         for anchor_id in self._node_candidates(row, nodes[anchor], params):
             base = dict(row)
             if nodes[anchor].var:
@@ -450,7 +453,25 @@ class CypherExecutor:
 
     # -- candidates / filters ------------------------------------------------------------
 
-    def _pick_anchor(self, row: dict, nodes: list[ast.NodePattern]) -> int:
+    def _pick_anchor(
+        self,
+        row: dict,
+        nodes: list[ast.NodePattern],
+        rels: list[ast.RelPattern],
+    ) -> int:
+        if self.stats is not None:
+            bound = {
+                node.var
+                for node in nodes
+                if node.var and isinstance(row.get(node.var), NodeRef)
+            }
+            best, best_cost = 0, self._chain_cost(nodes, rels, 0, bound)
+            for i in range(1, len(nodes)):
+                cost = self._chain_cost(nodes, rels, i, bound)
+                if cost < best_cost:
+                    best, best_cost = i, cost
+            return best
+        # stats-free heuristic: bound > indexed > labelled > first
         for i, node in enumerate(nodes):  # already-bound variable
             if node.var and isinstance(row.get(node.var), NodeRef):
                 return i
@@ -463,6 +484,105 @@ class CypherExecutor:
             if node.labels:
                 return i
         return 0
+
+    # -- cost estimation (requires ANALYZE) -----------------------------------
+
+    def _order_patterns(
+        self, patterns: list[ast.PathPattern], bound: set[str]
+    ) -> list[ast.PathPattern]:
+        """Cheapest-first ordering of a MATCH clause's path patterns.
+
+        Patterns in one MATCH are an inner join, so order cannot change
+        the result set — only how many partial rows get enumerated.
+        Greedy: pick the pattern with the smallest estimated row count,
+        treating variables bound by already-picked patterns as bound.
+        """
+        if self.stats is None or len(patterns) < 2:
+            return patterns
+        bound = set(bound)
+        ordered: list[ast.PathPattern] = []
+        remaining = list(patterns)
+        while remaining:
+            best = remaining[0]
+            best_cost = self._pattern_cost(best, bound)
+            for pattern in remaining[1:]:
+                cost = self._pattern_cost(pattern, bound)
+                if cost < best_cost:
+                    best, best_cost = pattern, cost
+            ordered.append(best)
+            remaining.remove(best)
+            for element in best.elements:
+                var = getattr(element, "var", None)
+                if var:
+                    bound.add(var)
+            if best.assign_var:
+                bound.add(best.assign_var)
+        return ordered
+
+    def _pattern_cost(
+        self, pattern: ast.PathPattern, bound: set[str]
+    ) -> float:
+        if pattern.shortest:
+            return 1.0  # endpoints must be uniquely identified anyway
+        nodes = list(pattern.nodes)
+        rels = list(pattern.rels)
+        return min(
+            self._chain_cost(nodes, rels, i, bound)
+            for i in range(len(nodes))
+        )
+
+    def _chain_cost(
+        self,
+        nodes: list[ast.NodePattern],
+        rels: list[ast.RelPattern],
+        anchor: int,
+        bound: set[str],
+    ) -> float:
+        """Estimated rows from anchoring at ``nodes[anchor]``.
+
+        Anchor candidate count times the average fan-out of every hop in
+        the direction it is traversed (right of the anchor as written,
+        left of it flipped).
+        """
+        assert self.stats is not None
+        cost = self._anchor_estimate(nodes[anchor], bound)
+        for pos in range(anchor, len(rels)):  # expanding right
+            cost *= self._hop_degree(rels[pos], flipped=False)
+        for pos in range(anchor - 1, -1, -1):  # expanding left
+            cost *= self._hop_degree(rels[pos], flipped=True)
+        return cost
+
+    def _anchor_estimate(
+        self, node: ast.NodePattern, bound: set[str]
+    ) -> float:
+        assert self.stats is not None
+        if node.var and node.var in bound:
+            return 0.5  # a bound ref beats even a unique index lookup
+        for label in node.labels:
+            label_count = self.stats.label_count(label)
+            if label_count is None:
+                label_count = self.store.label_count(label)
+            for key, _ in node.props:
+                if self.store.has_index(label, key):
+                    distinct = self.stats.prop_distinct.get((label, key))
+                    return max(
+                        label_count / max(distinct or label_count, 1), 1.0
+                    )
+        if node.labels:
+            label_count = self.stats.label_count(node.labels[0])
+            if label_count is None:
+                label_count = self.store.label_count(node.labels[0])
+            return float(max(label_count, 1))
+        return float(max(self.stats.node_count, 1))
+
+    def _hop_degree(self, rel: ast.RelPattern, flipped: bool) -> float:
+        assert self.stats is not None
+        rel_type = rel.types[0] if rel.types else None
+        direction = _FLIP[rel.direction] if flipped else rel.direction
+        degree = max(self.stats.avg_degree(rel_type, direction), 0.1)
+        if rel.var_length and rel.max_hops > 1:
+            degree = degree ** min(rel.max_hops, 4)
+        return degree
 
     def _node_candidates(
         self, row: dict, node: ast.NodePattern, params: dict

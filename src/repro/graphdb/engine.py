@@ -68,6 +68,14 @@ class GraphDatabase:
 
     def create_index(self, label: str, prop: str) -> None:
         self.store.create_index(label, prop)
+        if self.executor.stats is not None:
+            # keep index cardinalities in sync with the new access path
+            self.analyze()
+
+    def analyze(self) -> None:
+        """Refresh graph statistics used by MATCH anchor/order selection."""
+        charge("graph_analyze")
+        self.executor.stats = self.store.collect_statistics()
 
     def checkpoint(self) -> int:
         """Flush dirty records; returns how many were written back."""

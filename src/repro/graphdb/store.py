@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.simclock.ledger import charge
+from repro.stats import GraphStatistics
 from repro.storage.hashindex import HashIndex
 
 NO_REL = -1
@@ -58,6 +59,8 @@ class GraphStore:
         self._rels: list[_RelRecord] = []
         # (label, property) -> HashIndex(value -> node ids)
         self._indexes: dict[tuple[str, str], HashIndex] = {}
+        # label -> live node ids (maintained on every node write)
+        self._label_index: dict[str, set[int]] = {}
         self.node_count = 0
         self.rel_count = 0
 
@@ -95,6 +98,8 @@ class GraphStore:
         node_id = len(self._nodes)
         self._nodes.append(_NodeRecord(labels=tuple(labels), props=dict(props)))
         self.node_count += 1
+        for label in labels:
+            self._label_index.setdefault(label, set()).add(node_id)
         for (label, prop), index in self._indexes.items():
             if label in labels and props.get(prop) is not None:
                 index.insert(props[prop], node_id)
@@ -133,6 +138,10 @@ class GraphStore:
         charge("record_write")
         record.deleted = True
         self.node_count -= 1
+        for label in record.labels:
+            ids = self._label_index.get(label)
+            if ids is not None:
+                ids.discard(node_id)
         for (label, prop), index in self._indexes.items():
             if label in record.labels and record.props.get(prop) is not None:
                 index.delete(record.props[prop], node_id)
@@ -224,11 +233,19 @@ class GraphStore:
         return sum(1 for _ in self.relationships(node_id, rel_type, direction))
 
     def nodes_with_label(self, label: str) -> Iterator[int]:
-        """Label scan (no label index: linear over the node store)."""
-        for node_id, record in enumerate(self._nodes):
+        """Label index scan: only touches nodes carrying the label.
+
+        Ids come out ascending (insertion order) so results stay
+        deterministic, matching what the old linear scan produced.
+        """
+        charge("index_probe")
+        for node_id in sorted(self._label_index.get(label, ())):
             charge("record_read")
-            if not record.deleted and label in record.labels:
-                yield node_id
+            yield node_id
+
+    def label_count(self, label: str) -> int:
+        """Live nodes carrying ``label`` (no scan)."""
+        return len(self._label_index.get(label, ()))
 
     def all_nodes(self) -> Iterator[int]:
         for node_id, record in enumerate(self._nodes):
@@ -237,6 +254,43 @@ class GraphStore:
                 yield node_id
 
     # -- stats -----------------------------------------------------------------------
+
+    def collect_statistics(self) -> GraphStatistics:
+        """One pass over the relationship store plus index cardinalities.
+
+        Walks records directly (no per-record ``charge``); the caller
+        charges a flat ``graph_analyze`` for the refresh.
+        """
+        rel_counts: dict[str, int] = {}
+        starts: dict[str, set[int]] = {}
+        ends: dict[str, set[int]] = {}
+        for record in self._rels:
+            if record.deleted:
+                continue
+            rel_counts[record.rel_type] = (
+                rel_counts.get(record.rel_type, 0) + 1
+            )
+            starts.setdefault(record.rel_type, set()).add(record.start)
+            ends.setdefault(record.rel_type, set()).add(record.end)
+        return GraphStatistics(
+            node_count=self.node_count,
+            rel_count=self.rel_count,
+            label_counts={
+                label: len(ids) for label, ids in self._label_index.items()
+            },
+            rel_degrees={
+                rel_type: (
+                    count,
+                    len(starts.get(rel_type, ())),
+                    len(ends.get(rel_type, ())),
+                )
+                for rel_type, count in rel_counts.items()
+            },
+            prop_distinct={
+                key: index.distinct_keys()
+                for key, index in self._indexes.items()
+            },
+        )
 
     def size_bytes(self) -> int:
         """Approximate store footprint (records + property data)."""

@@ -36,6 +36,12 @@ class RdfDatabase:
             self._stmt_cache[sparql] = query
         return self.executor.run(query, params)
 
+    def analyze(self) -> None:
+        """Refresh triple statistics and switch to stats-based ordering."""
+        charge("sparql_analyze")
+        self.executor.stats = self.store.collect_statistics()
+        self.executor.order_mode = "stats"
+
     # -- updates (SPARQL UPDATE is out of scope; the API mirrors what the
     # LDBC connectors do: batches of triple inserts per entity) -------------
 

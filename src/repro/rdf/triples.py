@@ -6,6 +6,7 @@ from collections.abc import Iterator
 from typing import Any
 
 from repro.simclock.ledger import charge
+from repro.stats import TripleStatistics
 from repro.storage.btree import BPlusTree
 
 Term = Any  # str IRIs ("sn:pers123") or literal values (int, str, bool)
@@ -150,6 +151,39 @@ class TripleStore:
         return sum(1 for _ in self.match(s, p, o))
 
     # -- stats ------------------------------------------------------------------------
+
+    def collect_statistics(self) -> TripleStatistics:
+        """One pass over the SPO index: per-predicate counts and distincts.
+
+        Walks the index structure directly (no per-triple ``charge``);
+        the caller charges a flat ``sparql_analyze`` for the refresh.
+        """
+        predicate_counts: dict[Term, int] = {}
+        subjects_by_pred: dict[Term, set[int]] = {}
+        objects_by_pred: dict[Term, set[int]] = {}
+        all_subjects: set[int] = set()
+        all_objects: set[int] = set()
+        for (s_id, p_id, o_id), _ in self._spo.items():
+            predicate = self._id_to_term[p_id]
+            predicate_counts[predicate] = (
+                predicate_counts.get(predicate, 0) + 1
+            )
+            subjects_by_pred.setdefault(predicate, set()).add(s_id)
+            objects_by_pred.setdefault(predicate, set()).add(o_id)
+            all_subjects.add(s_id)
+            all_objects.add(o_id)
+        return TripleStatistics(
+            triple_count=self.triple_count,
+            predicate_counts=predicate_counts,
+            distinct_subjects={
+                p: len(s) for p, s in subjects_by_pred.items()
+            },
+            distinct_objects={
+                p: len(o) for p, o in objects_by_pred.items()
+            },
+            total_subjects=len(all_subjects),
+            total_objects=len(all_objects),
+        )
 
     def size_bytes(self) -> int:
         term_bytes = sum(

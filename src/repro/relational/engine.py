@@ -30,6 +30,7 @@ from repro.relational.sql.parser import parse
 from repro.relational.sql.planner import Planner
 from repro.relational.table import Table, column_type_from_sql
 from repro.simclock.ledger import charge
+from repro.stats import SqlStatistics, collect_sql_statistics
 from repro.storage.wal import WriteAheadLog
 from repro.txn.locks import LockMode
 from repro.txn.manager import Transaction, TransactionManager
@@ -60,7 +61,9 @@ class Database:
         self.planner = Planner(self.catalog, funcs)
         self._cache_statements = cache_statements
         self._stmt_cache: dict[str, ast.Statement] = {}
-        self._plan_cache: dict[str, Any] = {}
+        #: sql -> (stats/schema epoch, plan); stale epochs force a replan
+        self._plan_cache: dict[str, tuple[int, Any]] = {}
+        self._stats_epoch = 0
         self._active_txn: Transaction | None = None
         self.statements_executed = 0
 
@@ -89,7 +92,27 @@ class Database:
             return self._execute_create_table(stmt)
         if isinstance(stmt, ast.CreateIndex):
             return self._execute_create_index(stmt)
+        if isinstance(stmt, ast.Analyze):
+            self.analyze()
+            return 0
         raise TypeError(f"unhandled statement: {type(stmt).__name__}")
+
+    def analyze(self) -> SqlStatistics:
+        """Refresh planner statistics and invalidate cached plans."""
+        charge("sql_analyze")
+        stats = collect_sql_statistics(self.catalog)
+        self.planner.stats = stats
+        self._invalidate_plans()
+        return stats
+
+    @property
+    def stats(self) -> SqlStatistics | None:
+        return self.planner.stats
+
+    def set_join_reordering(self, enabled: bool) -> None:
+        """Toggle cost-based join reordering (benchmark A/B switch)."""
+        self.planner.reorder_enabled = enabled
+        self._invalidate_plans()
 
     def query(self, sql: str, params: Sequence[Any] = ()) -> list[tuple]:
         """Like :meth:`execute` but guarantees a row list."""
@@ -142,11 +165,12 @@ class Database:
         return stmt
 
     def _plan_cached(self, sql: str, stmt: ast.Statement) -> Any:
-        plan = self._plan_cache.get(sql)
-        if plan is None:
-            plan = self.planner.plan(stmt)  # charges sql_plan
-            if self._cache_statements:
-                self._plan_cache[sql] = plan
+        cached = self._plan_cache.get(sql)
+        if cached is not None and cached[0] == self._stats_epoch:
+            return cached[1]
+        plan = self.planner.plan(stmt)  # charges sql_plan
+        if self._cache_statements:
+            self._plan_cache[sql] = (self._stats_epoch, plan)
         return plan
 
     def _execute_query(
@@ -198,8 +222,10 @@ class Database:
         assign_fns = [
             (col, compile_expr(e, schema)) for col, e in stmt.assignments
         ]
+        matches = self._matching(table, stmt.table, stmt.where, params)
+        self._lock_rows(table, matches)
         affected = 0
-        for handle, row in self._matching(table, stmt.table, stmt.where, params):
+        for handle, row in matches:
             changes = {
                 col: fn(row, tuple(params)) for col, fn in assign_fns
             }
@@ -218,8 +244,10 @@ class Database:
 
     def _execute_delete(self, stmt: ast.Delete, params: Sequence[Any]) -> int:
         table = self.catalog.table(stmt.table)
+        matches = self._matching(table, stmt.table, stmt.where, params)
+        self._lock_rows(table, matches)
         affected = 0
-        for handle, row in self._matching(table, stmt.table, stmt.where, params):
+        for handle, row in matches:
             auto = self._dml_boundary(table, handle)
             table.delete(handle)
             txn = auto or self._active_txn
@@ -229,6 +257,23 @@ class Database:
                 auto.commit()
             affected += 1
         return affected
+
+    def _lock_rows(
+        self, table: Table, matches: list[tuple[Any, tuple]]
+    ) -> None:
+        """Pre-acquire all row locks of a multi-row DML in sorted order.
+
+        Inside an explicit transaction the per-row ``_dml_boundary``
+        acquisitions would otherwise follow scan order, and two
+        transactions scanning in different orders could deadlock.
+        """
+        if self._active_txn is None or len(matches) < 2:
+            return
+        self.txns.locks.acquire_many(
+            self._active_txn.txn_id,
+            [(table.name, handle) for handle, _ in matches],
+            LockMode.EXCLUSIVE,
+        )
 
     def _matching(
         self,
@@ -312,6 +357,7 @@ class Database:
         return 0
 
     def _invalidate_plans(self) -> None:
+        self._stats_epoch += 1
         self._plan_cache.clear()
 
     # -- crash recovery --------------------------------------------------------------

@@ -191,6 +191,13 @@ class CreateIndex:
     method: str = "btree"  # btree | hash
 
 
+@dataclass(frozen=True)
+class Analyze:
+    """``ANALYZE [table]`` — refresh planner statistics."""
+
+    table: str | None = None
+
+
 Statement = (
     Select
     | RecursiveCTE
@@ -199,4 +206,5 @@ Statement = (
     | Delete
     | CreateTable
     | CreateIndex
+    | Analyze
 )

@@ -193,12 +193,17 @@ class PlanNode:
     """Base class: every operator exposes a schema and a row iterator."""
 
     schema: Schema
+    #: estimated output rows, annotated by the planner's cost pass
+    est_rows: float | None = None
 
     def rows(self, ctx: ExecContext) -> Iterator[tuple]:
         raise NotImplementedError
 
     def explain(self, depth: int = 0) -> str:
-        lines = ["  " * depth + self._describe()]
+        line = "  " * depth + self._describe()
+        if self.est_rows is not None:
+            line += f"  [est_rows={self.est_rows:.0f}]"
+        lines = [line]
         for child in self._children():
             lines.append(child.explain(depth + 1))
         return "\n".join(lines)

@@ -10,7 +10,7 @@ KEYWORDS = {
     "where", "group", "order", "by", "asc", "desc", "limit", "and", "or",
     "not", "in", "is", "null", "true", "false", "insert", "into", "values",
     "update", "set", "delete", "create", "table", "index", "primary", "key",
-    "using", "with", "recursive", "as", "union", "all",
+    "using", "with", "recursive", "as", "union", "all", "analyze",
 }
 
 _PUNCT = {

@@ -77,6 +77,9 @@ class _Parser:
             return self.update()
         if self.keyword("delete"):
             return self.delete()
+        if self.keyword("analyze"):
+            table = self.ident() if self.check("ident") else None
+            return ast.Analyze(table)
         if self.keyword("create"):
             if self.keyword("table"):
                 return self.create_table()

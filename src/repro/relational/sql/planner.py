@@ -8,12 +8,18 @@ Access-path rules (deliberately simple, in the spirit of the paper's
 * other equality joins -> HashJoin; anything else -> NLJoin
 * single-binding WHERE conjuncts are pushed below joins
 
-Join order is the textual order of the FROM clause.
+Join order: when statistics are available (``ANALYZE``) and every join is
+an inner equi-join over base tables, the planner reorders greedily —
+start from the relation with the smallest estimated filtered
+cardinality, then repeatedly attach the relation whose System R join
+estimate is smallest.  Ties (and statistics-free planning) preserve the
+textual order of the FROM clause, so plans stay deterministic.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable
+from dataclasses import replace
 from typing import Any
 
 from repro.relational.catalog import Catalog
@@ -42,8 +48,12 @@ from repro.relational.sql.executor import (
     compile_expr,
 )
 from repro.simclock.ledger import charge
+from repro.stats import Selectivity, SqlStatistics
+from repro.stats.selectivity import DEFAULT_ROWS, RANGE_SELECTIVITY
 
 AGGREGATE_FUNCS = {"count", "sum", "min", "max", "avg"}
+
+_RANGE_OPS = {"<", "<=", ">", ">="}
 
 MAX_RECURSION_ITERATIONS = 256
 MAX_RECURSION_ROWS = 2_000_000
@@ -161,19 +171,25 @@ class Planner:
         self,
         catalog: Catalog,
         funcs: dict[str, Callable[..., Any]] | None = None,
+        stats: SqlStatistics | None = None,
     ) -> None:
         self.catalog = catalog
         self.funcs = funcs or {}
+        self.stats = stats
+        self.reorder_enabled = True
 
     # -- entry points --------------------------------------------------------
 
     def plan(self, stmt: ast.Select | ast.RecursiveCTE) -> PlanNode:
         charge("sql_plan")
         if isinstance(stmt, ast.Select):
-            return self.plan_select(stmt)
-        if isinstance(stmt, ast.RecursiveCTE):
-            return self.plan_recursive(stmt)
-        raise PlanError(f"cannot plan {type(stmt).__name__}")
+            plan = self.plan_select(stmt)
+        elif isinstance(stmt, ast.RecursiveCTE):
+            plan = self.plan_recursive(stmt)
+        else:
+            raise PlanError(f"cannot plan {type(stmt).__name__}")
+        self._annotate(plan)
+        return plan
 
     # -- scans -----------------------------------------------------------------
 
@@ -231,6 +247,7 @@ class Planner:
         ctes: dict[str, _CTEBinding] | None = None,
     ) -> PlanNode:
         ctes = ctes or {}
+        select = self._maybe_reorder(select, ctes)
         pending = _conjuncts(select.where)
 
         if select.from_table is None:
@@ -438,6 +455,311 @@ class Planner:
                 return col_side.column, key_side
         return None
 
+    # -- cost-based join reordering ----------------------------------------------
+
+    def _maybe_reorder(
+        self, select: ast.Select, ctes: dict[str, _CTEBinding]
+    ) -> ast.Select:
+        """Greedy smallest-intermediate-first reordering of inner joins.
+
+        Bails out (returning the select unchanged, i.e. textual order)
+        whenever reordering could change semantics or column order: outer
+        joins, CTE sources, bare ``SELECT *``, duplicate bindings, or
+        unqualified column references that do not resolve uniquely.
+        """
+        if not self.reorder_enabled or not select.joins:
+            return select
+        if select.from_table is None:
+            return select
+        if any(join.kind != "inner" for join in select.joins):
+            return select
+        refs = [select.from_table] + [join.table for join in select.joins]
+        if any(ref.name in ctes for ref in refs):
+            return select
+        for item in select.items:
+            # a bare `*` takes its column order from the relation order
+            if (
+                isinstance(item.expr, ast.ColumnRef)
+                and item.expr.column == "*"
+                and item.expr.table is None
+            ):
+                return select
+        bindings = [ref.binding for ref in refs]
+        if len(set(bindings)) != len(bindings):
+            return select
+        try:
+            tables = {
+                ref.binding: self.catalog.table(ref.name) for ref in refs
+            }
+        except Exception:
+            return select
+
+        # pool: WHERE conjuncts + every join condition's conjuncts
+        pool = _conjuncts(select.where)
+        for join in select.joins:
+            pool.extend(_conjuncts(join.condition))
+
+        # which bindings does each conjunct touch?  None -> bail out.
+        conjunct_bindings: list[frozenset[str] | None] = []
+        for conjunct in pool:
+            touched: set[str] = set()
+            ok = True
+            for ref in _column_refs(conjunct):
+                if ref.column == "*":
+                    ok = False
+                    break
+                if ref.table is not None:
+                    if ref.table not in tables:
+                        ok = False
+                        break
+                    touched.add(ref.table)
+                    continue
+                owners = [
+                    b
+                    for b in bindings
+                    if ref.column in tables[b].column_names
+                ]
+                if len(owners) != 1:
+                    ok = False
+                    break
+                touched.add(owners[0])
+            if not ok:
+                return select
+            conjunct_bindings.append(frozenset(touched))
+
+        singles: list[ast.Expr] = []
+        multis: list[tuple[ast.Expr, frozenset[str]]] = []
+        single_by_binding: dict[str, list[ast.Expr]] = {b: [] for b in bindings}
+        for conjunct, touched in zip(pool, conjunct_bindings):
+            if len(touched) <= 1:
+                singles.append(conjunct)
+                if touched:
+                    single_by_binding[next(iter(touched))].append(conjunct)
+            else:
+                multis.append((conjunct, touched))
+
+        base_rows = {
+            b: self._filtered_rows(tables[b], b, single_by_binding[b])
+            for b in bindings
+        }
+
+        # start with the smallest filtered relation; strict < keeps ties
+        # in textual order (and makes stats-free planning a no-op)
+        start = bindings[0]
+        for b in bindings[1:]:
+            if base_rows[b] < base_rows[start]:
+                start = b
+
+        placed = {start}
+        order = [start]
+        cur_rows = base_rows[start]
+        attached: dict[str, list[ast.Expr]] = {b: [] for b in bindings}
+        unused = list(multis)
+        remaining = [b for b in bindings if b != start]
+        while remaining:
+            best: str | None = None
+            best_rows = 0.0
+            best_connected = False
+            for b in remaining:
+                usable = [
+                    c
+                    for c, touched in unused
+                    if b in touched and touched <= placed | {b}
+                ]
+                rows = self._join_step_estimate(
+                    cur_rows, base_rows[b], tables, usable
+                )
+                connected = bool(usable)
+                # connected candidates always beat cross products
+                if best is None or (connected, -rows) > (
+                    best_connected,
+                    -best_rows,
+                ):
+                    best, best_rows, best_connected = b, rows, connected
+            assert best is not None
+            placed.add(best)
+            order.append(best)
+            cur_rows = best_rows
+            still_unused = []
+            for c, touched in unused:
+                if touched <= placed:
+                    attached[best].append(c)
+                else:
+                    still_unused.append((c, touched))
+            unused = still_unused
+            remaining.remove(best)
+
+        if order == bindings:
+            return select
+
+        ref_by_binding = {ref.binding: ref for ref in refs}
+        new_joins = []
+        for b in order[1:]:
+            condition = _and_expr(attached[b])
+            new_joins.append(ast.Join(ref_by_binding[b], condition, "inner"))
+        return replace(
+            select,
+            from_table=ref_by_binding[order[0]],
+            joins=tuple(new_joins),
+            where=_and_expr(singles) if singles else None,
+        )
+
+    # -- cardinality estimation ---------------------------------------------------
+
+    def _table_rows(self, table: Any) -> float:
+        if self.stats is not None:
+            table_stats = self.stats.table(table.name)
+            if table_stats is not None:
+                return float(max(table_stats.row_count, 1))
+        live = len(table)
+        return float(live) if live else DEFAULT_ROWS
+
+    def _distinct(self, table: Any, column: str) -> int | None:
+        if self.stats is not None:
+            table_stats = self.stats.table(table.name)
+            if table_stats is not None:
+                distinct = table_stats.distinct(column)
+                if distinct:
+                    return distinct
+        if table.has_index(column):
+            # indexed columns are keys or near-keys in this schema
+            return max(int(self._table_rows(table)) // 2, 1)
+        return None
+
+    def _filtered_rows(
+        self, table: Any, binding: str, conjuncts: list[ast.Expr]
+    ) -> float:
+        rows = self._table_rows(table)
+        for conjunct in conjuncts:
+            rows *= self._conjunct_selectivity(conjunct, table)
+        return max(rows, 1.0)
+
+    def _conjunct_selectivity(self, conjunct: ast.Expr, table: Any) -> float:
+        if isinstance(conjunct, ast.InList):
+            if isinstance(conjunct.needle, ast.ColumnRef):
+                eq = Selectivity.equality(
+                    self._distinct(table, conjunct.needle.column)
+                )
+                return min(len(conjunct.items) * eq, 1.0)
+            return 0.5
+        if not isinstance(conjunct, ast.BinaryOp):
+            return 1.0
+        for col_side, key_side in (
+            (conjunct.left, conjunct.right),
+            (conjunct.right, conjunct.left),
+        ):
+            if (
+                isinstance(col_side, ast.ColumnRef)
+                and col_side.column in table.column_names
+                and _is_constant(key_side)
+            ):
+                distinct = self._distinct(table, col_side.column)
+                if conjunct.op == "=":
+                    return Selectivity.equality(distinct)
+                if conjunct.op in ("<>", "!="):
+                    return Selectivity.inequality(distinct)
+                if conjunct.op in _RANGE_OPS:
+                    return Selectivity.range()
+        return 1.0
+
+    def _join_step_estimate(
+        self,
+        cur_rows: float,
+        next_rows: float,
+        tables: dict[str, Any],
+        conjuncts: list[ast.Expr],
+    ) -> float:
+        if not conjuncts:
+            return max(cur_rows * next_rows, 1.0)
+        rows = cur_rows * next_rows
+        for conjunct in conjuncts:
+            rows *= self._join_conjunct_selectivity(conjunct, tables)
+        return max(rows, 1.0)
+
+    def _join_conjunct_selectivity(
+        self, conjunct: ast.Expr, tables: dict[str, Any]
+    ) -> float:
+        if not isinstance(conjunct, ast.BinaryOp):
+            return 1.0
+        if conjunct.op == "=":
+            distincts = []
+            rows = []
+            for side in (conjunct.left, conjunct.right):
+                if not isinstance(side, ast.ColumnRef):
+                    continue
+                table = tables.get(side.table) if side.table else None
+                if table is None:
+                    continue
+                rows.append(self._table_rows(table))
+                d = self._distinct(table, side.column)
+                if d:
+                    distincts.append(d)
+            if distincts:
+                return 1.0 / max(distincts)
+            if rows:
+                # FK-join assumption: key side is unique
+                return 1.0 / max(max(rows), 1.0)
+            return 0.1
+        if conjunct.op in _RANGE_OPS:
+            return RANGE_SELECTIVITY
+        return 1.0
+
+    # -- plan annotation ----------------------------------------------------------
+
+    def _annotate(self, node: PlanNode) -> None:
+        """Attach ``est_rows`` to every plan node, children first."""
+        for child in node._children():
+            self._annotate(child)
+        node.est_rows = self._node_estimate(node)
+
+    def _node_estimate(self, node: PlanNode) -> float:
+        if isinstance(node, SingleRow):
+            return 1.0
+        if isinstance(node, SeqScan):
+            return self._table_rows(node.table)
+        if isinstance(node, IndexEqScan):
+            return max(
+                self._table_rows(node.table)
+                * Selectivity.equality(
+                    self._distinct(node.table, node.column)
+                ),
+                1.0,
+            )
+        if isinstance(node, MaterializedScan):
+            return 64.0  # CTE working set: unknowable statically
+        if isinstance(node, (IndexNLJoin, VectorizedIndexNLJoin)):
+            outer = node.outer.est_rows or 1.0
+            per_probe = self._table_rows(node.table) * Selectivity.equality(
+                self._distinct(node.table, node.inner_column)
+            )
+            est = max(outer * per_probe, 1.0)
+            return max(est, outer) if node.kind == "left" else est
+        if isinstance(node, HashJoin):
+            left = node.left.est_rows or 1.0
+            right = node.right.est_rows or 1.0
+            est = max(left, right)  # FK-join assumption
+            return max(est, left) if node.kind == "left" else est
+        if isinstance(node, NLJoin):
+            outer = node.outer.est_rows or 1.0
+            inner = node.inner.est_rows or 1.0
+            factor = RANGE_SELECTIVITY if node.predicate is not None else 1.0
+            est = max(outer * inner * factor, 1.0)
+            return max(est, outer) if node.kind == "left" else est
+        if isinstance(node, Filter):
+            return max((node.child.est_rows or 1.0) * RANGE_SELECTIVITY, 1.0)
+        if isinstance(node, Aggregate):
+            if not node.group_fns:
+                return 1.0
+            return max((node.child.est_rows or 1.0) ** 0.5, 1.0)
+        if isinstance(node, Limit):
+            return max(min(node.child.est_rows or 1.0, node.limit), 0.0)
+        if isinstance(node, RecursiveCTEPlan):
+            return node.body.est_rows or DEFAULT_ROWS
+        children = node._children()
+        if children:
+            return children[0].est_rows or 1.0
+        return DEFAULT_ROWS
+
     # -- aggregation -----------------------------------------------------------------
 
     def _plan_aggregate(
@@ -615,6 +937,16 @@ def _default_name(expr: ast.Expr, position: int) -> str:
     if isinstance(expr, ast.FuncCall):
         return expr.name
     return f"col{position}"
+
+
+def _and_expr(conjuncts: list[ast.Expr]) -> ast.Expr:
+    """Rebuild an AND tree (``TRUE`` for an empty conjunction)."""
+    if not conjuncts:
+        return ast.Literal(True)
+    expr = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        expr = ast.BinaryOp("AND", expr, conjunct)
+    return expr
 
 
 def _and_all(

@@ -58,6 +58,9 @@ DEFAULT_WEIGHTS: dict[str, float] = {
     "sql_plan": 45.0,
     "sql_exec": 80.0,         # per-statement executor setup (snapshot,
                               # portal, plan instantiation)
+    "sql_analyze": 5000.0,    # ANALYZE: full-scan statistics refresh
+    "graph_analyze": 5000.0,  # property-graph statistics refresh
+    "sparql_analyze": 5000.0,  # triple-store statistics refresh
     "sql_row": 0.4,           # per result row through the SQL executor top
     "cypher_parse": 220.0,
     "cypher_plan": 260.0,

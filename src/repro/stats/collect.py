@@ -1,0 +1,161 @@
+"""Statistics containers and collectors.
+
+Each engine's ``ANALYZE`` builds one of the containers below with a full
+scan (the datasets in scope are small enough that sampling would add
+noise without saving anything).  Containers are plain data: they never
+reach back into the stores, so stale statistics can only mislead the
+planners, never break answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ColumnStats:
+    """Per-column distribution summary."""
+
+    distinct: int = 0
+    null_count: int = 0
+    minimum: Any = None
+    maximum: Any = None
+
+
+@dataclass
+class TableStats:
+    """Row count plus per-column stats for one SQL table."""
+
+    name: str
+    row_count: int
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+
+    def distinct(self, column: str) -> int | None:
+        stats = self.columns.get(column)
+        return stats.distinct if stats is not None else None
+
+
+class SqlStatistics:
+    """ANALYZE output for a relational catalog."""
+
+    def __init__(self) -> None:
+        self.tables: dict[str, TableStats] = {}
+
+    def table(self, name: str) -> TableStats | None:
+        return self.tables.get(name.lower())
+
+
+def collect_sql_statistics(catalog: Any) -> SqlStatistics:
+    """Full-scan statistics for every table in a relational catalog."""
+    stats = SqlStatistics()
+    for name in catalog.table_names():
+        table = catalog.table(name)
+        columns = list(table.column_names)
+        values: list[set] = [set() for _ in columns]
+        nulls = [0] * len(columns)
+        minima: list[Any] = [None] * len(columns)
+        maxima: list[Any] = [None] * len(columns)
+        rows = 0
+        for _handle, row in table.scan():
+            rows += 1
+            for i, value in enumerate(row):
+                if value is None:
+                    nulls[i] += 1
+                    continue
+                values[i].add(value)
+                try:
+                    if minima[i] is None or value < minima[i]:
+                        minima[i] = value
+                    if maxima[i] is None or value > maxima[i]:
+                        maxima[i] = value
+                except TypeError:
+                    pass  # mixed-type column: keep distinct counts only
+        stats.tables[name.lower()] = TableStats(
+            name=name.lower(),
+            row_count=rows,
+            columns={
+                column: ColumnStats(
+                    distinct=len(values[i]),
+                    null_count=nulls[i],
+                    minimum=minima[i],
+                    maximum=maxima[i],
+                )
+                for i, column in enumerate(columns)
+            },
+        )
+    return stats
+
+
+@dataclass
+class GraphStatistics:
+    """ANALYZE output for a property-graph store.
+
+    ``rel_degrees`` maps relationship type to ``(count, distinct start
+    nodes, distinct end nodes)`` — enough to estimate average out/in
+    fan-out per type.  ``prop_distinct`` maps indexed ``(label, prop)``
+    pairs to their distinct value counts.
+    """
+
+    node_count: int = 0
+    rel_count: int = 0
+    label_counts: dict[str, int] = field(default_factory=dict)
+    rel_degrees: dict[str, tuple[int, int, int]] = field(
+        default_factory=dict
+    )
+    prop_distinct: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    def label_count(self, label: str) -> int | None:
+        return self.label_counts.get(label)
+
+    def avg_degree(self, rel_type: str | None, direction: str) -> float:
+        """Average fan-out per node following ``rel_type`` edges.
+
+        ``direction`` is ``out``/``in``/``both``; an unknown type falls
+        back to the overall edge/node ratio.
+        """
+        if rel_type is None or rel_type not in self.rel_degrees:
+            if not self.node_count:
+                return 1.0
+            return max(1.0, 2.0 * self.rel_count / self.node_count)
+        count, starts, ends = self.rel_degrees[rel_type]
+        if direction == "out":
+            return count / max(starts, 1)
+        if direction == "in":
+            return count / max(ends, 1)
+        return count / max(starts, 1) + count / max(ends, 1)
+
+
+@dataclass
+class TripleStatistics:
+    """ANALYZE output for a triple store.
+
+    Per-predicate triple counts plus distinct subject/object counts give
+    the matching-triple estimate for every bound-position combination of
+    a triple pattern.
+    """
+
+    triple_count: int = 0
+    predicate_counts: dict[Any, int] = field(default_factory=dict)
+    distinct_subjects: dict[Any, int] = field(default_factory=dict)
+    distinct_objects: dict[Any, int] = field(default_factory=dict)
+    total_subjects: int = 0
+    total_objects: int = 0
+
+    def pattern_count(
+        self, s_bound: bool, predicate: Any, o_bound: bool
+    ) -> float:
+        """Estimated triples matching one pattern given its bound slots."""
+        if predicate is not None:
+            total = float(self.predicate_counts.get(predicate, 0))
+            if s_bound:
+                total /= max(self.distinct_subjects.get(predicate, 1), 1)
+            if o_bound:
+                total /= max(self.distinct_objects.get(predicate, 1), 1)
+            return total
+        total = float(self.triple_count)
+        if s_bound:
+            total /= max(self.total_subjects, 1)
+        if o_bound:
+            total /= max(self.total_objects, 1)
+        return total

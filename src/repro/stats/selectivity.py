@@ -1,0 +1,55 @@
+"""Shared selectivity arithmetic (the System R defaults).
+
+Every engine-specific planner reduces its estimation problem to these
+formulas; keeping them in one place keeps the engines' cost models
+comparable, which matters when the benchmark attributes latency
+differences to plan quality.
+"""
+
+from __future__ import annotations
+
+#: selectivity of a range predicate (<, <=, >, >=) without histograms
+RANGE_SELECTIVITY = 1.0 / 3.0
+
+#: selectivity of an equality against a column of unknown cardinality
+DEFAULT_EQ_SELECTIVITY = 0.1
+
+#: rows assumed for a relation with no statistics and no live count
+DEFAULT_ROWS = 1000.0
+
+
+class Selectivity:
+    """Static estimation helpers; all results are > 0."""
+
+    @staticmethod
+    def equality(distinct: int | None) -> float:
+        """``col = const``: uniform over the distinct values."""
+        if distinct is None or distinct <= 0:
+            return DEFAULT_EQ_SELECTIVITY
+        return 1.0 / distinct
+
+    @staticmethod
+    def inequality(distinct: int | None) -> float:
+        """``col <> const``: everything but one value."""
+        if distinct is None or distinct <= 1:
+            return 1.0
+        return (distinct - 1.0) / distinct
+
+    @staticmethod
+    def range() -> float:
+        return RANGE_SELECTIVITY
+
+    @staticmethod
+    def join(
+        left_rows: float,
+        right_rows: float,
+        left_distinct: int | None,
+        right_distinct: int | None,
+    ) -> float:
+        """Equi-join output estimate: ``|L|·|R| / max(d(L.a), d(R.b))``."""
+        denominator = max(
+            left_distinct or 0,
+            right_distinct or 0,
+            1,
+        )
+        return max(left_rows * right_rows / denominator, 1.0)

@@ -65,6 +65,10 @@ class HashIndex:
     def keys(self) -> Iterator[Any]:
         return iter(self._buckets)
 
+    def distinct_keys(self) -> int:
+        """Distinct key count (statistics collection; no probe charge)."""
+        return len(self._buckets)
+
     def items(self) -> Iterator[tuple[Any, Any]]:
         for key, bucket in self._buckets.items():
             for value in bucket:

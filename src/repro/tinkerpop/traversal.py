@@ -576,6 +576,21 @@ class Traversal:
         if len(args) == 2:
             key, value = args
             predicate = value if isinstance(value, P) else P.eq(value)
+            # fold V().hasLabel(l).has(key, eq) into an index lookup: the
+            # label already on the VStep scopes the (label, key) index
+            step = self.steps[-1] if self.steps else None
+            if (
+                isinstance(step, VStep)
+                and step.vid is None
+                and step.index_key is None
+                and step.label is not None
+                and predicate.op == "eq"
+                and self.provider is not None
+                and self.provider.has_lookup_index(step.label, key)
+            ):
+                step.index_key = key
+                step.index_value = predicate.value
+                return self
             self.steps.append(HasStep(key, predicate))
             return self
         raise TraversalError("has() takes (key, value) or (label, key, value)")

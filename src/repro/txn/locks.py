@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import enum
 from collections import defaultdict
+from collections.abc import Iterable
 from typing import Hashable
 
 from repro.simclock.ledger import charge
@@ -80,6 +81,20 @@ class LockManager:
             raise LockConflict(resource, others)
         state.holders[txn_id] = mode
         self._held_by_txn[txn_id].add(resource)
+
+    def acquire_many(
+        self, txn_id: int, resources: Iterable[Hashable], mode: LockMode
+    ) -> None:
+        """Acquire several locks in one global sorted order.
+
+        Every multi-resource caller sorting the same way cannot deadlock
+        against another such caller: both request locks along the same
+        total order.  ``repr`` gives that order for arbitrary (possibly
+        mixed-type) resource keys; duplicates collapse to one acquire.
+        """
+        unique = {repr(resource): resource for resource in resources}
+        for key in sorted(unique):
+            self.acquire(txn_id, unique[key], mode)
 
     def try_acquire(
         self, txn_id: int, resource: Hashable, mode: LockMode

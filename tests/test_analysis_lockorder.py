@@ -11,6 +11,10 @@ def qa501(diagnostics):
     return [d for d in diagnostics if d.code == "QA501"]
 
 
+def qa502(diagnostics):
+    return [d for d in diagnostics if d.code == "QA502"]
+
+
 class TestSyntheticSources:
     def test_two_way_cycle(self):
         diagnostics = analyze_lock_order_sources({
@@ -87,7 +91,59 @@ class TestSyntheticSources:
         assert qa501(diagnostics) == []
 
 
+class TestSortedAcquisition:
+    def test_unsorted_pair_in_one_function_warns(self):
+        diagnostics = analyze_lock_order_sources({
+            "g.py": (
+                "def backwards(m, t):\n"
+                f"    m.acquire(t, 'B', {X})\n"
+                f"    m.acquire(t, 'A', {X})\n"
+            ),
+        })
+        found = qa502(diagnostics)
+        assert len(found) == 1
+        assert "backwards" in found[0].message
+        assert "acquire_many" in found[0].message
+
+    def test_sorted_acquisition_is_clean(self):
+        diagnostics = analyze_lock_order_sources({
+            "h.py": (
+                "def forwards(m, t):\n"
+                f"    m.acquire(t, 'A', {X})\n"
+                f"    m.acquire(t, 'B', {X})\n"
+                f"    m.acquire(t, 'C', {X})\n"
+            ),
+        })
+        assert qa502(diagnostics) == []
+
+    def test_single_lock_is_clean(self):
+        diagnostics = analyze_lock_order_sources({
+            "i.py": (
+                "def single(m, t):\n"
+                f"    m.acquire(t, 'Z', {X})\n"
+            ),
+        })
+        assert qa502(diagnostics) == []
+
+    def test_reacquisition_does_not_count_as_unsorted(self):
+        # A .. B .. A: the trailing A is a re-entrant no-op, not a
+        # second (out-of-order) acquisition.
+        diagnostics = analyze_lock_order_sources({
+            "j.py": (
+                "def reentrant(m, t):\n"
+                f"    m.acquire(t, 'A', {X})\n"
+                f"    m.acquire(t, 'B', {X})\n"
+                f"    m.acquire(t, 'A', {X})\n"
+            ),
+        })
+        assert qa502(diagnostics) == []
+
+
 class TestRepository:
     def test_the_package_has_no_conflicting_lock_orders(self):
         diagnostics = analyze_lock_order()
         assert qa501(diagnostics) == [], [str(d) for d in diagnostics]
+
+    def test_the_package_acquires_multi_locks_in_sorted_order(self):
+        diagnostics = analyze_lock_order()
+        assert qa502(diagnostics) == [], [str(d) for d in diagnostics]

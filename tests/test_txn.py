@@ -56,6 +56,42 @@ class TestLockManager:
         lm.acquire(1, "row", X)
         assert lm.holders("row") == {1: X}
 
+    def test_acquire_many_sorts_and_dedups(self):
+        lm = LockManager()
+        order: list[object] = []
+        original = lm.acquire
+
+        def recording(txn_id, resource, mode):
+            order.append(resource)
+            return original(txn_id, resource, mode)
+
+        lm.acquire = recording
+        lm.acquire_many(1, ["b", "a", "c", "a"], X)
+        assert order == ["a", "b", "c"]
+        for resource in ("a", "b", "c"):
+            assert lm.holders(resource) == {1: X}
+
+    def test_acquire_many_sorts_tuple_resources(self):
+        lm = LockManager()
+        order: list[object] = []
+        original = lm.acquire
+
+        def recording(txn_id, resource, mode):
+            order.append(resource)
+            return original(txn_id, resource, mode)
+
+        lm.acquire = recording
+        lm.acquire_many(1, [("knows", 9), ("knows", 10), ("knows", 2)], X)
+        # repr-sorted: ('knows', 10) < ('knows', 2) < ('knows', 9)
+        assert order == sorted(order, key=repr)
+        assert len(order) == 3
+
+    def test_acquire_many_conflicts_like_acquire(self):
+        lm = LockManager()
+        lm.acquire(2, "b", X)
+        with pytest.raises(LockConflict):
+            lm.acquire_many(1, ["a", "b"], X)
+
     def test_upgrade_blocked_by_other_reader(self):
         lm = LockManager()
         lm.acquire(1, "row", S)
