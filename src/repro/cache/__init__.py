@@ -1,0 +1,81 @@
+"""Shared caching subsystem for the four query dialects and the store.
+
+Every engine in this repo keeps some *derived state* — state that is a
+pure function of the base data plus the schema and can therefore go
+stale.  This package centralizes both the containers and the protocol
+for keeping that state honest.
+
+Invalidation protocol
+=====================
+
+There are exactly two invalidation granularities, and every cached
+piece of derived state in the repo must use one of them:
+
+1. **Epoch (coarse).**  The owner keeps an integer epoch alongside an
+   :class:`~repro.cache.lru.EpochKeyedCache`.  Entries are stamped with
+   the epoch current at store time; a lookup whose stamp disagrees with
+   the current epoch is a miss.  The epoch is bumped whenever the world
+   the entries were derived from changes *wholesale*:
+
+   * DDL — ``CREATE TABLE`` / ``CREATE INDEX`` (access paths change),
+   * ``ANALYZE`` — statistics swap (cost estimates change),
+   * planner reconfiguration (``set_join_reordering``),
+   * bulk load.
+
+   Used by: the SQL statement/plan caches (``relational/engine.py``),
+   the Cypher statement/plan cache (``graphdb/engine.py``), the SPARQL
+   parse+translate cache (``rdf/engine.py``), and the Gremlin Server
+   script cache (``tinkerpop/server.py``).
+
+2. **Dependency set (fine).**  Each entry declares the member ids its
+   value was derived from, via a
+   :class:`~repro.cache.lru.DependencyTrackingCache`.  A single-row
+   write invalidates exactly the entries whose dependency set contains
+   a written member — the same update events the Kafka consumer
+   delivers drive this, so a ``knows`` edge insert between persons *a*
+   and *b* evicts only cached neighborhoods containing *a* or *b*.
+   The whole-cache ``invalidate_all`` remains as the epoch-style
+   fallback for bulk load and ANALYZE.
+
+   Used by: the ``GraphStore`` adjacency/neighborhood cache
+   (``graphdb/store.py``).
+
+Audit of derived-state sites (staleness hazards)
+------------------------------------------------
+
+* SQL ``_stmt_cache`` — parse trees depend only on the SQL text, never
+  stale; plain LRU.
+* SQL ``_plan_cache`` — depends on schema + stats; **epoch**, bumped by
+  DDL / ANALYZE / reorder toggle.
+* Cypher ``_stmt_cache`` — the cached object bundles parse *and* plan;
+  plans depend on indexes + stats, so the whole cache is **epoch**,
+  bumped by ``create_index`` / ``analyze`` (previously never
+  invalidated — a real staleness bug this package fixes).
+* SPARQL ``_stmt_cache`` — parse+translate depends only on text, but
+  the executor's per-pattern cardinality memo depends on stats;
+  **epoch** on the memo, cleared when ``analyze`` installs new stats.
+* ``GraphStore._label_index`` / ``_indexes`` — maintained *inline* by
+  every write (insert updates the index in the same operation), so they
+  are never stale by construction; no epoch needed.
+* ``GraphStore`` neighborhood cache — **dependency set** as above.
+* Planner statistics themselves — snapshots by design (ANALYZE
+  semantics); consumers must not cache *decisions* derived from them
+  past the epoch bump.
+
+Engines expose their counters uniformly through ``cache_stats()``
+facades returning :class:`~repro.cache.lru.CacheStats` rows.
+"""
+
+from repro.cache.lru import (
+    CacheStats,
+    DependencyTrackingCache,
+    EpochKeyedCache,
+    LRUCache,
+)
+
+__all__ = [
+    "CacheStats",
+    "DependencyTrackingCache",
+    "EpochKeyedCache",
+    "LRUCache",
+]

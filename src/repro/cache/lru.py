@@ -1,0 +1,291 @@
+"""Statistics-bearing caches shared by every engine.
+
+Three shapes, all built on one size-bounded O(1) LRU:
+
+* :class:`LRUCache` — the base map with ``hits`` / ``misses`` /
+  ``evictions`` / ``invalidations`` counters (the buffer pool's
+  bookkeeping, generalized to arbitrary keys and values).
+* :class:`EpochKeyedCache` — entries are stamped with the owner's
+  *statistics/schema epoch*; a lookup against a stale stamp misses, so
+  bumping the epoch invalidates everything at once without touching the
+  entries (the SQL plan cache's protocol, now shared by all dialects).
+* :class:`DependencyTrackingCache` — entries declare the set of member
+  ids they were derived from; invalidating a member evicts exactly the
+  entries whose dependency set contains it (the graph store's
+  fine-grained adjacency invalidation).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """One cache's counters, as reported by the engine facades."""
+
+    name: str
+    size: int
+    capacity: int
+    hits: int
+    misses: int
+    evictions: int
+    invalidations: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Size-bounded LRU map with hit/miss/eviction/invalidation counters.
+
+    All operations are O(1); eviction drops the least recently *used*
+    entry, exactly like the buffer pool's frame table.
+    """
+
+    def __init__(self, capacity: int = 1024, *, name: str = "lru") -> None:
+        if capacity < 1:
+            raise ValueError("cache needs capacity >= 1")
+        self.name = name
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __getitem__(self, key: Hashable) -> Any:
+        return self._entries[key]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, dict):
+            return dict(self._entries) == other
+        if isinstance(other, LRUCache):
+            return dict(self._entries) == dict(other._entries)
+        return NotImplemented
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value (counting a hit) or ``default``."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return value
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Like :meth:`get` but without touching any counter or order."""
+        return self._entries.get(key, default)
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; returns whether it was present."""
+        if key in self._entries:
+            del self._entries[key]
+            self.invalidations += 1
+            return True
+        return False
+
+    def invalidate_all(self) -> int:
+        """Drop every entry; returns how many were dropped."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.invalidations += dropped
+        return dropped
+
+    def items(self) -> list[tuple[Hashable, Any]]:
+        return list(self._entries.items())
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            name=self.name,
+            size=len(self._entries),
+            capacity=self.capacity,
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            invalidations=self.invalidations,
+        )
+
+
+class EpochKeyedCache:
+    """An LRU whose entries are only valid for the current epoch.
+
+    The owner bumps :attr:`epoch` whenever the derived state the entries
+    were computed from changes wholesale (DDL, ANALYZE, planner
+    reconfiguration); a lookup whose stamp disagrees with the current
+    epoch counts as a miss and the caller recomputes.  The mapping
+    protocol (``in`` / ``[]`` / ``== {}``) exposes ``(epoch, value)``
+    pairs for introspection and tests.
+    """
+
+    def __init__(self, capacity: int = 1024, *, name: str = "plans") -> None:
+        self._lru = LRUCache(capacity, name=name)
+        self.epoch = 0
+
+    # -- mapping-style introspection (entries are (epoch, value)) ---------
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._lru
+
+    def __getitem__(self, key: Hashable) -> tuple[int, Any]:
+        return self._lru[key]
+
+    def __eq__(self, other: object) -> bool:
+        return self._lru == other
+
+    def get(self, key: Hashable) -> tuple[int, Any] | None:
+        """Raw ``(epoch, value)`` entry without epoch filtering."""
+        entry = self._lru.peek(key)
+        return entry  # type: ignore[no-any-return]
+
+    # -- the epoch-checked protocol ---------------------------------------
+
+    def lookup(self, key: Hashable) -> Any:
+        """The cached value, or ``None`` on a miss or a stale stamp."""
+        entry = self._lru.get(key)
+        if entry is None:
+            return None
+        stamp, value = entry
+        if stamp != self.epoch:
+            self._lru.misses += 1
+            self._lru.hits -= 1  # the raw get over-counted
+            self._lru.invalidate(key)
+            return None
+        return value
+
+    def store(self, key: Hashable, value: Any) -> None:
+        self._lru.put(key, (self.epoch, value))
+
+    def bump_epoch(self) -> int:
+        """Invalidate everything at once; returns the new epoch."""
+        self.epoch += 1
+        self._lru.invalidate_all()
+        return self.epoch
+
+    def clear(self) -> int:
+        return self._lru.invalidate_all()
+
+    @property
+    def hit_rate(self) -> float:
+        return self._lru.hit_rate
+
+    def stats(self) -> CacheStats:
+        return self._lru.stats()
+
+
+class DependencyTrackingCache:
+    """An LRU whose entries declare the member ids they depend on.
+
+    ``put(key, value, deps)`` records an inverted index from each member
+    id to the keys derived from it; ``invalidate_members(ids)`` evicts
+    exactly those keys.  This is the fine-grained protocol the graph
+    store uses: a ``knows`` edge insert invalidates only the cached
+    neighborhoods whose dependency set contains an endpoint.
+    ``invalidate_all`` is the whole-cache epoch fallback for bulk load
+    and ANALYZE.
+    """
+
+    def __init__(
+        self, capacity: int = 4096, *, name: str = "neighborhood"
+    ) -> None:
+        self._lru = LRUCache(capacity, name=name)
+        #: member id -> keys whose cached value was derived from it
+        self._dependents: dict[Hashable, set[Hashable]] = {}
+        #: key -> its dependency set (to unlink on eviction)
+        self._deps_of: dict[Hashable, frozenset[Hashable]] = {}
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        return self._lru.get(key, default)
+
+    def put(
+        self, key: Hashable, value: Any, deps: Iterable[Hashable]
+    ) -> None:
+        if key in self._lru:
+            self._unlink(key)
+        self._lru.put(key, value)
+        dep_set = frozenset(deps)
+        self._deps_of[key] = dep_set
+        for member in dep_set:
+            self._dependents.setdefault(member, set()).add(key)
+        # the LRU may have evicted its oldest entry; drop its links too
+        while len(self._deps_of) > len(self._lru):
+            for stale in list(self._deps_of):
+                if stale not in self._lru:
+                    self._unlink(stale)
+                    break
+
+    def invalidate_members(self, members: Iterable[Hashable]) -> int:
+        """Evict every entry depending on any of ``members``."""
+        dropped = 0
+        for member in members:
+            for key in list(self._dependents.get(member, ())):
+                if self._lru.invalidate(key):
+                    dropped += 1
+                self._unlink(key)
+        return dropped
+
+    def invalidate_all(self) -> int:
+        """Whole-cache fallback (bulk load, ANALYZE, index builds)."""
+        self._dependents.clear()
+        self._deps_of.clear()
+        return self._lru.invalidate_all()
+
+    def _unlink(self, key: Hashable) -> None:
+        for member in self._deps_of.pop(key, ()):
+            keys = self._dependents.get(member)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._dependents[member]
+
+    @property
+    def hit_rate(self) -> float:
+        return self._lru.hit_rate
+
+    @property
+    def hits(self) -> int:
+        return self._lru.hits
+
+    @property
+    def misses(self) -> int:
+        return self._lru.misses
+
+    @property
+    def invalidations(self) -> int:
+        return self._lru.invalidations
+
+    def stats(self) -> CacheStats:
+        return self._lru.stats()

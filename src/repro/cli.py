@@ -190,6 +190,8 @@ def cmd_validate(args: argparse.Namespace) -> int:
     for key in systems:
         connector = make_connector(key)
         connector.load(dataset)
+        if args.cached:
+            connector.enable_caching()
         connectors[key] = connector
     params = WorkloadParams.curate(dataset, count=args.checks, seed=args.seed)
     reference_key = systems[0]
@@ -226,6 +228,14 @@ def cmd_validate(args: argparse.Namespace) -> int:
         f"{checks} cross-checks over {len(systems)} systems: "
         f"{mismatches} mismatches"
     )
+    if args.cached:
+        for key, connector in connectors.items():
+            for stats in connector.cache_stats():
+                print(
+                    f"  {key}: {stats.name} "
+                    f"hit_rate={stats.hit_rate:.2f} "
+                    f"({stats.hits} hits / {stats.misses} misses)"
+                )
     return 1 if mismatches else 0
 
 
@@ -298,6 +308,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--systems", default="all")
     p.add_argument("--checks", type=int, default=5,
                    help="curated parameters per operation")
+    p.add_argument(
+        "--cached", action="store_true",
+        help="enable each connector's hot-path caches before checking",
+    )
     p.set_defaults(fn=cmd_validate)
 
     p = sub.add_parser(

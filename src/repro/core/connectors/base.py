@@ -202,6 +202,31 @@ class Connector(ABC):
         else:  # pragma: no cover - exhaustive over UpdateKind
             raise ValueError(f"unknown update kind {kind}")
 
+    def apply_update_batch(self, events: list[UpdateEvent]) -> None:
+        """Execute a poll's worth of events as one group-committed unit.
+
+        The base implementation applies them one by one; systems with a
+        cheaper batch path (single transaction, one WAL flush) override
+        this — the interactive writer routes through it whenever
+        ``InteractiveConfig.write_batch_size > 1``.
+        """
+        for event in events:
+            self.apply_update(event)
+
+    # -- caching hooks (overridden where relevant) -----------------------------------------
+
+    def enable_caching(self) -> None:
+        """Opt into the system's hot-path caches (off by default).
+
+        The paper's benchmarks run with the caches the real deployments
+        shipped with; this hook turns on the additional read-path caches
+        (neighborhood / script) for the cache experiments.
+        """
+
+    def cache_stats(self) -> list:
+        """Uniform :class:`repro.cache.CacheStats` rows, all engine caches."""
+        return []
+
     # -- concurrency hooks (overridden where relevant) -------------------------------------
 
     def checkpoint_pages(self) -> int:

@@ -514,6 +514,21 @@ class CypherConnector(Connector):
             {"p": like.person, "m": like.message, "d": like.creation_date},
         )
 
+    # -- batching / caching hooks ------------------------------------------------------------------
+
+    def apply_update_batch(self, events: list) -> None:
+        """Group commit: one WAL fsync for the whole poll of events."""
+        with self.db.write_batch():
+            for event in events:
+                self.apply_update(event)
+
+    def enable_caching(self) -> None:
+        """Turn on the store's adjacency/neighborhood cache."""
+        self.db.enable_adjacency_cache()
+
+    def cache_stats(self) -> list:
+        return self.db.cache_stats()
+
     # -- concurrency hooks -------------------------------------------------------------------------
 
     def checkpoint_pages(self) -> int:

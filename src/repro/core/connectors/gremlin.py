@@ -10,6 +10,7 @@ loading utilities).
 
 from __future__ import annotations
 
+from repro.cache import LRUCache
 from repro.core.connectors.base import Connector, OperationFailed
 from repro.graphdb.tinkerpop_adapter import Neo4jProvider
 from repro.snb.datagen import SnbDataset
@@ -414,7 +415,9 @@ class GremlinConnector(Connector):
         self._validate_queries()
         self.provider = self._make_provider()
         self.server = GremlinServer(self.provider)
-        self._vertex_cache: dict[int, Vertex] = {}
+        # vertex references are immutable once created, so no
+        # invalidation is needed; the LRU only bounds memory
+        self._vertex_cache = LRUCache(8192, name="gremlin-vertices")
 
     def _make_provider(self) -> GraphProvider:
         raise NotImplementedError
@@ -435,9 +438,11 @@ class GremlinConnector(Connector):
 
     # -- helpers -------------------------------------------------------------------
 
-    def _submit(self, build) -> list:
+    def _submit(self, build, key: str | None = None) -> list:
+        """Submit a traversal; ``key`` names the parameterized script so
+        the server's script cache (when enabled) can skip compilation."""
         try:
-            return self.server.submit(build)
+            return self.server.submit(build, cache_key=key)
         except GremlinServerError as exc:
             raise OperationFailed(str(exc)) from exc
 
@@ -446,11 +451,12 @@ class GremlinConnector(Connector):
         if cached is not None:
             return cached
         results = self._submit(
-            lambda g: _q_vertex_by_id(g, "person", person_id)
+            lambda g: _q_vertex_by_id(g, "person", person_id),
+            key="vertex_by_id:person",
         )
         if not results:
             raise OperationFailed(f"no person {person_id}")
-        self._vertex_cache[person_id] = results[0]
+        self._vertex_cache.put(person_id, results[0])
         return results[0]
 
     def _message_vertex(self, message_id: int) -> Vertex | None:
@@ -458,7 +464,8 @@ class GremlinConnector(Connector):
             results = self._submit(
                 lambda g, label=label: _q_vertex_by_id(
                     g, label, message_id
-                )
+                ),
+                key=f"vertex_by_id:{label}",
             )
             if results:
                 return results[0]
@@ -467,25 +474,28 @@ class GremlinConnector(Connector):
     # -- micro reads ------------------------------------------------------------------
 
     def point_lookup(self, person_id: int) -> tuple:
-        maps = self._submit(lambda g: _q_point_lookup(g, person_id))
+        maps = self._submit(
+            lambda g: _q_point_lookup(g, person_id), key="point_lookup"
+        )
         if not maps:
             return ()
         m = maps[0]
         return (m.get("firstName"), m.get("lastName"), m.get("gender"))
 
     def one_hop(self, person_id: int) -> list[int]:
-        ids = self._submit(lambda g: _q_one_hop(g, person_id))
+        ids = self._submit(lambda g: _q_one_hop(g, person_id), key="one_hop")
         return sorted(ids)
 
     def two_hop(self, person_id: int) -> list[int]:
-        ids = self._submit(lambda g: _q_two_hop(g, person_id))
+        ids = self._submit(lambda g: _q_two_hop(g, person_id), key="two_hop")
         return sorted(ids)
 
     def shortest_path(self, person1: int, person2: int) -> int | None:
         if person1 == person2:
             return 0
         paths = self._submit(
-            lambda g: _q_shortest_path(g, person1, person2)
+            lambda g: _q_shortest_path(g, person1, person2),
+            key="shortest_path",
         )
         if not paths:
             return None
@@ -494,11 +504,15 @@ class GremlinConnector(Connector):
     # -- short reads ----------------------------------------------------------------------
 
     def person_profile(self, person_id: int) -> tuple:
-        maps = self._submit(lambda g: _q_point_lookup(g, person_id))
+        maps = self._submit(
+            lambda g: _q_point_lookup(g, person_id), key="point_lookup"
+        )
         if not maps:
             return ()
         m = maps[0]
-        cities = self._submit(lambda g: _q_person_city(g, person_id))
+        cities = self._submit(
+            lambda g: _q_person_city(g, person_id), key="person_city"
+        )
         return (
             m.get("firstName"), m.get("lastName"), m.get("gender"),
             m.get("birthday"), m.get("browserUsed"),
@@ -507,14 +521,17 @@ class GremlinConnector(Connector):
 
     def person_recent_posts(self, person_id: int, limit: int = 10) -> list:
         maps = self._submit(
-            lambda g: _q_person_recent_posts(g, person_id, limit)
+            lambda g: _q_person_recent_posts(g, person_id, limit),
+            key="person_recent_posts",
         )
         rows = [(m["id"], m.get("content"), m["creationDate"]) for m in maps]
         rows.sort(key=lambda r: (-r[2], -r[0]))
         return rows
 
     def person_friends(self, person_id: int) -> list[tuple]:
-        maps = self._submit(lambda g: _q_person_friends(g, person_id))
+        maps = self._submit(
+            lambda g: _q_person_friends(g, person_id), key="person_friends"
+        )
         return [(m["id"], m.get("firstName"), m.get("lastName")) for m in maps]
 
     def message_content(self, message_id: int) -> tuple:
@@ -522,7 +539,8 @@ class GremlinConnector(Connector):
             maps = self._submit(
                 lambda g, label=label: _q_message_value_map(
                     g, label, message_id
-                )
+                ),
+                key=f"message_value_map:{label}",
             )
             if maps:
                 return (maps[0].get("content"), maps[0]["creationDate"])
@@ -533,7 +551,8 @@ class GremlinConnector(Connector):
             maps = self._submit(
                 lambda g, label=label: _q_message_creator(
                     g, label, message_id
-                )
+                ),
+                key=f"message_creator:{label}",
             )
             if maps:
                 m = maps[0]
@@ -541,16 +560,20 @@ class GremlinConnector(Connector):
         return ()
 
     def message_forum(self, message_id: int) -> tuple:
-        maps = self._submit(lambda g: _q_post_forum(g, message_id))
+        maps = self._submit(
+            lambda g: _q_post_forum(g, message_id), key="post_forum"
+        )
         if not maps:
             maps = self._submit(
-                lambda g: _q_comment_forum(g, message_id)
+                lambda g: _q_comment_forum(g, message_id),
+                key="comment_forum",
             )
         if not maps:
             return ()
         forum = maps[0]
         moderators = self._submit(
-            lambda g: _q_forum_moderator(g, forum["id"])
+            lambda g: _q_forum_moderator(g, forum["id"]),
+            key="forum_moderator",
         )
         return (forum["id"], forum.get("title"),
                 moderators[0] if moderators else None)
@@ -561,20 +584,23 @@ class GremlinConnector(Connector):
             exists = self._submit(
                 lambda g, label=label: _q_vertex_by_id(
                     g, label, message_id
-                )
+                ),
+                key=f"vertex_by_id:{label}",
             )
             if not exists:
                 continue
             maps = self._submit(
                 lambda g, label=label: _q_message_replies(
                     g, label, message_id
-                )
+                ),
+                key=f"message_replies:{label}",
             )
             for m in maps:
                 creators = self._submit(
                     lambda g, mid=m["id"]: _q_reply_creator(
                         g, "comment", mid
-                    )
+                    ),
+                    key="reply_creator:comment",
                 )
                 replies.append(
                     (m["id"], creators[0] if creators else None,
@@ -585,7 +611,8 @@ class GremlinConnector(Connector):
 
     def complex_two_hop(self, person_id: int, limit: int = 20) -> list[tuple]:
         maps = self._submit(
-            lambda g: _q_complex_two_hop(g, person_id, limit)
+            lambda g: _q_complex_two_hop(g, person_id, limit),
+            key="complex_two_hop",
         )
         return [(m["id"], m.get("firstName"), m.get("lastName")) for m in maps]
 
@@ -596,7 +623,8 @@ class GremlinConnector(Connector):
         # API: fetch the whole neighbourhood activity and sort client-side
         # (exactly the kind of work a declarative engine would push down)
         maps = self._submit(
-            lambda g: _q_friends_recent_posts(g, person_id)
+            lambda g: _q_friends_recent_posts(g, person_id),
+            key="friends_recent_posts",
         )
         maps.sort(key=lambda m: (-m["creationDate"], -m["id"]))
         maps = maps[:limit]
@@ -606,7 +634,8 @@ class GremlinConnector(Connector):
             creators = self._submit(
                 lambda g, mid=m["id"]: _q_reply_creator(
                     g, "post" if "language" in m else "comment", mid
-                )
+                ),
+                key="reply_creator:message",
             )
             rows.append(
                 (m["id"], creators[0] if creators else None,
@@ -618,8 +647,11 @@ class GremlinConnector(Connector):
     # -- inserts -----------------------------------------------------------------------------
 
     def _add_vertex(self, label: str, props: dict) -> None:
-        results = self._submit(lambda g: _q_add_vertex(g, label, props))
-        self._vertex_cache[props["id"]] = results[0]
+        results = self._submit(
+            lambda g: _q_add_vertex(g, label, props),
+            key=f"add_vertex:{label}",
+        )
+        self._vertex_cache.put(props["id"], results[0])
 
     def _add_edge(
         self,
@@ -631,7 +663,8 @@ class GremlinConnector(Connector):
         props: dict | None = None,
     ) -> None:
         in_results = self._submit(
-            lambda g: _q_vertex_by_id(g, in_label, in_id)
+            lambda g: _q_vertex_by_id(g, in_label, in_id),
+            key=f"vertex_by_id:{in_label}",
         )
         if not in_results:
             raise OperationFailed(f"no {in_label} {in_id}")
@@ -639,8 +672,20 @@ class GremlinConnector(Connector):
         self._submit(
             lambda g: _q_add_edge(
                 g, label, out_label, out_id, target, props or {}
-            )
+            ),
+            key=f"add_edge:{label}:{out_label}",
         )
+
+    # -- caching hooks -----------------------------------------------------------------------
+
+    def enable_caching(self) -> None:
+        """Turn on the Gremlin Server's script/bytecode cache."""
+        self.server.enable_script_cache()
+
+    def cache_stats(self) -> list:
+        rows = list(self.server.cache_stats())
+        rows.append(self._vertex_cache.stats())
+        return rows
 
     def add_person(self, person: Person) -> None:
         self._add_vertex("person", {

@@ -457,3 +457,14 @@ class VirtuosoSparqlConnector(Connector):
     def add_like(self, like: Like) -> None:
         charge("client_rtt")
         self.db.insert_triples(self._like_triples(like))
+
+    # -- batching / caching hooks -----------------------------------------------------------
+
+    def apply_update_batch(self, events: list) -> None:
+        """Group commit: one WAL fsync for the whole poll of events."""
+        with self.db.wal.group():
+            for event in events:
+                self.apply_update(event)
+
+    def cache_stats(self) -> list:
+        return self.db.cache_stats()

@@ -13,6 +13,9 @@ entity ids and edge endpoint columns only (the paper's fairness rule).
 
 from __future__ import annotations
 
+from collections.abc import Iterator
+from contextlib import contextmanager
+
 from repro.core.connectors.base import Connector
 from repro.relational.engine import Database
 from repro.simclock.ledger import charge
@@ -25,7 +28,10 @@ from repro.snb.schema import (
     Like,
     Person,
     Post,
+    UpdateEvent,
+    UpdateKind,
 )
+from repro.txn.locks import LockMode
 
 _SCHEMA = [
     "CREATE TABLE person (id BIGINT PRIMARY KEY, firstname TEXT, "
@@ -202,6 +208,7 @@ class SqlConnector(Connector):
             self.db.execute(ddl)
         for ddl in _INDEXES:
             self.db.execute(ddl)
+        self._batch_depth = 0
 
     # -- loading -----------------------------------------------------------------
 
@@ -293,8 +300,73 @@ class SqlConnector(Connector):
         return self.db.query(sql, params)
 
     def _execute(self, sql: str, params=()) -> None:
-        charge("client_rtt")
+        self._write_rtt()
         self.db.execute(sql, params)
+
+    # -- write plumbing ----------------------------------------------------------
+
+    def _write_rtt(self) -> None:
+        """Per-statement round trip, absorbed into one per batch when the
+        writer pipelines a whole poll of events as a single request."""
+        if not self._batch_depth:
+            charge("client_rtt")
+
+    @contextmanager
+    def _write_txn(self) -> Iterator[None]:
+        """The insert's transaction — or the enclosing batch's, if any."""
+        if self.db._active_txn is not None:
+            yield
+        else:
+            with self.db.transaction():
+                yield
+
+    @staticmethod
+    def _event_lock(event: UpdateEvent) -> tuple[str, object]:
+        """The (table, key) the event's first INSERT will lock."""
+        kind, payload = event.kind, event.payload
+        if kind is UpdateKind.ADD_PERSON:
+            return ("person", payload.id)
+        if kind is UpdateKind.ADD_FRIENDSHIP:
+            return ("knows", None)
+        if kind is UpdateKind.ADD_FORUM:
+            return ("forum", payload.id)
+        if kind is UpdateKind.ADD_FORUM_MEMBERSHIP:
+            return ("forum_member", None)
+        if kind is UpdateKind.ADD_POST:
+            return ("post", payload.id)
+        if kind is UpdateKind.ADD_COMMENT:
+            return ("comment", payload.id)
+        return ("likes", None)
+
+    def apply_update_batch(self, events: list[UpdateEvent]) -> None:
+        """One transaction for the whole poll: one commit-time fsync.
+
+        Locks for every event are pre-acquired in the lock manager's
+        global sort order (``acquire_many``), so a batch can't deadlock
+        against row DML; the per-statement boundary acquisitions inside
+        are then reentrant no-ops.  The batch travels as one pipelined
+        request (a single ``client_rtt``).
+        """
+        if len(events) <= 1:
+            for event in events:
+                self.apply_update(event)
+            return
+        charge("client_rtt")
+        self._batch_depth += 1
+        try:
+            with self.db.transaction() as txn:
+                self.db.txns.locks.acquire_many(
+                    txn.txn_id,
+                    [self._event_lock(e) for e in events],
+                    LockMode.EXCLUSIVE,
+                )
+                for event in events:
+                    self.apply_update(event)
+        finally:
+            self._batch_depth -= 1
+
+    def cache_stats(self) -> list:
+        return self.db.cache_stats()
 
     def point_lookup(self, person_id: int) -> tuple:
         rows = self._query(
@@ -412,8 +484,8 @@ class SqlConnector(Connector):
     # -- inserts ----------------------------------------------------------------------------
 
     def add_person(self, person: Person) -> None:
-        charge("client_rtt")
-        with self.db.transaction():
+        self._write_rtt()
+        with self._write_txn():
             self.db.execute(
                 SQL_QUERIES["add_person"][0],
                 (person.id, person.first_name, person.last_name,
@@ -430,8 +502,8 @@ class SqlConnector(Connector):
                 )
 
     def add_friendship(self, knows: Knows) -> None:
-        charge("client_rtt")
-        with self.db.transaction():
+        self._write_rtt()
+        with self._write_txn():
             self.db.execute(
                 SQL_QUERIES["add_friendship"][0],
                 (knows.person1, knows.person2, knows.creation_date),
@@ -442,8 +514,8 @@ class SqlConnector(Connector):
             )
 
     def add_forum(self, forum: Forum) -> None:
-        charge("client_rtt")
-        with self.db.transaction():
+        self._write_rtt()
+        with self._write_txn():
             self.db.execute(
                 SQL_QUERIES["add_forum"][0],
                 (forum.id, forum.title, forum.creation_date, forum.moderator),
@@ -460,8 +532,8 @@ class SqlConnector(Connector):
         )
 
     def add_post(self, post: Post) -> None:
-        charge("client_rtt")
-        with self.db.transaction():
+        self._write_rtt()
+        with self._write_txn():
             self.db.execute(
                 SQL_QUERIES["add_post"][0],
                 (post.id, post.creation_date, post.creator, post.forum,
@@ -474,8 +546,8 @@ class SqlConnector(Connector):
                 )
 
     def add_comment(self, comment: Comment) -> None:
-        charge("client_rtt")
-        with self.db.transaction():
+        self._write_rtt()
+        with self._write_txn():
             self.db.execute(
                 SQL_QUERIES["add_comment"][0],
                 (comment.id, comment.creation_date, comment.creator,

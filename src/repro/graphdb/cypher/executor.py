@@ -308,7 +308,9 @@ class CypherExecutor:
         rel_type = rel.types[0] if rel.types else None
         store_dir = _TO_DIRECTION[direction]
         if not rel.var_length:
-            for rel_id, other in self.store.relationships(
+            # neighbors() serves the whole adjacency list from the
+            # store's neighborhood cache when it is enabled
+            for rel_id, other in self.store.neighbors(
                 node_id, rel_type, store_dir
             ):
                 if rel_id in used:
@@ -417,7 +419,7 @@ class CypherExecutor:
             next_frontier: list[int] = []
             meet: int | None = None
             for node in frontier:
-                for _rel_id, other in self.store.relationships(
+                for _rel_id, other in self.store.neighbors(
                     node, rel_type, direction
                 ):
                     if other not in parents:

@@ -3,8 +3,11 @@
 Adds the operational envelope around the store + executor:
 
 * statement cache (parse once per query text; ``cypher_parse`` /
-  ``cypher_plan`` charged on miss),
-* WAL appends per write + group-commit fsync per statement,
+  ``cypher_plan`` charged on miss).  The cached object bundles the plan,
+  which depends on indexes and statistics, so the cache is epoch-keyed:
+  ``create_index`` / ``analyze`` bump the epoch and force a re-plan,
+* WAL appends per write + group-commit fsync per statement (or per
+  batch, under :meth:`write_batch`),
 * a dirty-record counter consumed by the periodic checkpointer — the
   Figure 3 harness turns each checkpoint into a write stall, reproducing
   the paper's "sudden drops due to checkpointing".
@@ -12,9 +15,11 @@ Adds the operational envelope around the store + executor:
 
 from __future__ import annotations
 
+from collections.abc import Iterator
+from contextlib import contextmanager
 from typing import Any
 
-from repro.graphdb.cypher import ast as cypher_ast
+from repro.cache import CacheStats, EpochKeyedCache
 from repro.graphdb.cypher.executor import CypherExecutor, WriteSummary
 from repro.graphdb.cypher.parser import parse
 from repro.graphdb.store import GraphStore
@@ -28,7 +33,9 @@ class GraphDatabase:
         self.store = GraphStore(name)
         self.wal = WriteAheadLog(f"{name}-wal")
         self.executor = CypherExecutor(self.store)
-        self._stmt_cache: dict[str, cypher_ast.Query] = {}
+        #: cypher text -> (epoch, parsed+planned query); the plan half
+        #: depends on indexes + stats, so DDL/ANALYZE bump the epoch
+        self._stmt_cache = EpochKeyedCache(4096, name="cypher-plans")
         self.dirty_records = 0
         self.checkpoint_count = 0
         self.statements_executed = 0
@@ -41,12 +48,12 @@ class GraphDatabase:
         """Run one Cypher statement; returns result rows (empty for writes)."""
         self.statements_executed += 1
         charge("cypher_exec")
-        query = self._stmt_cache.get(cypher)
+        query = self._stmt_cache.lookup(cypher)
         if query is None:
             charge("cypher_parse")
             charge("cypher_plan")
             query = parse(cypher)
-            self._stmt_cache[cypher] = query
+            self._stmt_cache.store(cypher, query)
         rows, summary = self.executor.run(query, params)
         self._log_writes(summary)
         return rows
@@ -64,10 +71,17 @@ class GraphDatabase:
         self.wal.commit()  # group commit: one fsync per statement
         self.dirty_records += writes
 
+    @contextmanager
+    def write_batch(self) -> Iterator[None]:
+        """Group several statements' WAL records under one fsync."""
+        with self.wal.group():
+            yield
+
     # -- operations -----------------------------------------------------------------
 
     def create_index(self, label: str, prop: str) -> None:
         self.store.create_index(label, prop)
+        self._stmt_cache.bump_epoch()  # cached plans may prefer the new index
         if self.executor.stats is not None:
             # keep index cardinalities in sync with the new access path
             self.analyze()
@@ -76,6 +90,10 @@ class GraphDatabase:
         """Refresh graph statistics used by MATCH anchor/order selection."""
         charge("graph_analyze")
         self.executor.stats = self.store.collect_statistics()
+        self._stmt_cache.bump_epoch()
+        # whole-cache fallback: bulk loads end with ANALYZE, so this also
+        # clears neighborhoods populated mid-load
+        self.store.invalidate_caches()
 
     def checkpoint(self) -> int:
         """Flush dirty records; returns how many were written back."""
@@ -84,6 +102,16 @@ class GraphDatabase:
         self.dirty_records = 0
         self.checkpoint_count += 1
         return flushed
+
+    def enable_adjacency_cache(self, capacity: int = 4096) -> None:
+        """Opt into the store's neighborhood cache (off by default)."""
+        self.store.enable_neighborhood_cache(capacity)
+
+    def cache_stats(self) -> list[CacheStats]:
+        """Uniform cache counters (shared facade across all dialects)."""
+        rows = [self._stmt_cache.stats()]
+        rows.extend(self.store.cache_stats())
+        return rows
 
     def size_bytes(self) -> int:
         return self.store.size_bytes()

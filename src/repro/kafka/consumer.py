@@ -14,17 +14,31 @@ class Consumer:
     independent offset cursors over the same log.
     """
 
-    def __init__(self, broker: Broker, group: str, topic: str) -> None:
+    def __init__(
+        self,
+        broker: Broker,
+        group: str,
+        topic: str,
+        *,
+        max_poll_records: int = 64,
+    ) -> None:
         self.broker = broker
         self.group = group
         self.topic = topic
+        self.max_poll_records = max_poll_records
         partitions = broker.partition_count(topic)
         self._committed = [0] * partitions
         self._position = [0] * partitions
         self.records_consumed = 0
 
-    def poll(self, max_records: int = 64) -> list[Record]:
-        """Fetch up to ``max_records`` across partitions (one round trip)."""
+    def poll(self, max_records: int | None = None) -> list[Record]:
+        """Fetch up to ``max_records`` across partitions (one round trip).
+
+        ``max_records`` defaults to the consumer's configured
+        ``max_poll_records`` (the Kafka property of the same name).
+        """
+        if max_records is None:
+            max_records = self.max_poll_records
         charge("client_rtt")
         out: list[Record] = []
         partitions = self.broker.partition_count(self.topic)

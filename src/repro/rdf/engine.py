@@ -4,8 +4,9 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.cache import CacheStats, LRUCache
 from repro.rdf.sparql.executor import SparqlExecutor
-from repro.rdf.sparql.parser import SparqlQuery, parse
+from repro.rdf.sparql.parser import parse
 from repro.rdf.triples import TripleStore
 from repro.simclock.ledger import charge
 from repro.storage.wal import WriteAheadLog
@@ -19,7 +20,9 @@ class RdfDatabase:
         self.store = TripleStore(name)
         self.wal = WriteAheadLog(f"{name}-wal")
         self.executor = SparqlExecutor(self.store)
-        self._stmt_cache: dict[str, SparqlQuery] = {}
+        #: parse+translate depends only on the query text, never stale;
+        #: join *ordering* happens at run time from the executor's stats
+        self._stmt_cache = LRUCache(4096, name="sparql-statements")
         self.statements_executed = 0
 
     def execute(
@@ -33,7 +36,7 @@ class RdfDatabase:
             charge("sparql_parse")
             charge("sparql_translate")
             query = parse(sparql)
-            self._stmt_cache[sparql] = query
+            self._stmt_cache.put(sparql, query)
         return self.executor.run(query, params)
 
     def analyze(self) -> None:
@@ -41,6 +44,13 @@ class RdfDatabase:
         charge("sparql_analyze")
         self.executor.stats = self.store.collect_statistics()
         self.executor.order_mode = "stats"
+
+    def cache_stats(self) -> list[CacheStats]:
+        """Uniform cache counters (shared facade across all dialects)."""
+        return [
+            self._stmt_cache.stats(),
+            self.executor.estimate_cache.stats(),
+        ]
 
     # -- updates (SPARQL UPDATE is out of scope; the API mirrors what the
     # LDBC connectors do: batches of triple inserts per entity) -------------

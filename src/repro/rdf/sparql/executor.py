@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.cache import LRUCache
 from repro.rdf.sparql import parser as ast
 from repro.rdf.triples import TripleStore
 from repro.simclock.ledger import charge
@@ -35,8 +36,24 @@ Row = dict[str, Any]
 class SparqlExecutor:
     def __init__(self, store: TripleStore) -> None:
         self.store = store
-        self.stats: TripleStatistics | None = None
+        self._stats: TripleStatistics | None = None
+        #: (s_bound, predicate, o_bound) -> estimated matches; derived
+        #: from the stats snapshot, so installing new stats clears it
+        self._estimate_memo = LRUCache(1024, name="sparql-estimates")
         self.order_mode = "boundness"
+
+    @property
+    def stats(self) -> TripleStatistics | None:
+        return self._stats
+
+    @stats.setter
+    def stats(self, value: TripleStatistics | None) -> None:
+        self._stats = value
+        self._estimate_memo.invalidate_all()
+
+    @property
+    def estimate_cache(self) -> LRUCache:
+        return self._estimate_memo
 
     def run(
         self, query: ast.SparqlQuery, params: dict[str, Any] | None = None
@@ -111,7 +128,12 @@ class SparqlExecutor:
                 predicate = params.get(pattern.p.name)
             else:
                 predicate = pattern.p.value
-        return self.stats.pattern_count(s_bound, predicate, o_bound)
+        key = (s_bound, predicate, o_bound)
+        estimate = self._estimate_memo.get(key)
+        if estimate is None:
+            estimate = self.stats.pattern_count(s_bound, predicate, o_bound)
+            self._estimate_memo.put(key, estimate)
+        return estimate  # type: ignore[no-any-return]
 
     @staticmethod
     def _is_bound(term: ast.Term, bound: set[str]) -> bool:

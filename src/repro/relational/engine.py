@@ -19,6 +19,7 @@ from collections.abc import Iterator, Sequence
 from contextlib import contextmanager
 from typing import Any
 
+from repro.cache import CacheStats, EpochKeyedCache, LRUCache
 from repro.relational.catalog import Catalog
 from repro.relational.sql import ast
 from repro.relational.sql.executor import (
@@ -60,10 +61,9 @@ class Database:
         self.transitive_support = transitive_support
         self.planner = Planner(self.catalog, funcs)
         self._cache_statements = cache_statements
-        self._stmt_cache: dict[str, ast.Statement] = {}
+        self._stmt_cache = LRUCache(4096, name="sql-statements")
         #: sql -> (stats/schema epoch, plan); stale epochs force a replan
-        self._plan_cache: dict[str, tuple[int, Any]] = {}
-        self._stats_epoch = 0
+        self._plan_cache = EpochKeyedCache(4096, name="sql-plans")
         self._active_txn: Transaction | None = None
         self.statements_executed = 0
 
@@ -108,6 +108,19 @@ class Database:
     @property
     def stats(self) -> SqlStatistics | None:
         return self.planner.stats
+
+    @property
+    def _stats_epoch(self) -> int:
+        """The plan cache's epoch (bumped by DDL / ANALYZE / reorder)."""
+        return self._plan_cache.epoch
+
+    @_stats_epoch.setter
+    def _stats_epoch(self, value: int) -> None:
+        self._plan_cache.epoch = value
+
+    def cache_stats(self) -> list[CacheStats]:
+        """Uniform cache counters (shared facade across all dialects)."""
+        return [self._stmt_cache.stats(), self._plan_cache.stats()]
 
     def set_join_reordering(self, enabled: bool) -> None:
         """Toggle cost-based join reordering (benchmark A/B switch)."""
@@ -161,16 +174,16 @@ class Database:
             charge("sql_parse")
             stmt = parse(sql)
             if self._cache_statements:
-                self._stmt_cache[sql] = stmt
+                self._stmt_cache.put(sql, stmt)
         return stmt
 
     def _plan_cached(self, sql: str, stmt: ast.Statement) -> Any:
-        cached = self._plan_cache.get(sql)
-        if cached is not None and cached[0] == self._stats_epoch:
-            return cached[1]
+        plan = self._plan_cache.lookup(sql)
+        if plan is not None:
+            return plan
         plan = self.planner.plan(stmt)  # charges sql_plan
         if self._cache_statements:
-            self._plan_cache[sql] = (self._stats_epoch, plan)
+            self._plan_cache.store(sql, plan)
         return plan
 
     def _execute_query(
@@ -357,8 +370,7 @@ class Database:
         return 0
 
     def _invalidate_plans(self) -> None:
-        self._stats_epoch += 1
-        self._plan_cache.clear()
+        self._plan_cache.bump_epoch()
 
     # -- crash recovery --------------------------------------------------------------
 

@@ -273,6 +273,10 @@ class IndexEqScan(PlanNode):
 
 
 class Filter(PlanNode):
+    #: planner-estimated fraction of child rows surviving the predicate
+    #: (None -> the System R range default during annotation)
+    selectivity: float | None = None
+
     def __init__(self, child: PlanNode, predicate: ExprFn) -> None:
         self.child = child
         self.predicate = predicate

@@ -332,7 +332,15 @@ class Planner:
             pending.remove(conjunct)
         if applicable:
             predicate = _and_all(applicable, plan.schema, self.funcs)
-            return Filter(plan, predicate)
+            filtered = Filter(plan, predicate)
+            if isinstance(plan, (SeqScan, IndexEqScan)):
+                selectivity = 1.0
+                for conjunct in applicable:
+                    selectivity *= self._conjunct_selectivity(
+                        conjunct, plan.table
+                    )
+                filtered.selectivity = min(max(selectivity, 1e-6), 1.0)
+            return filtered
         return plan
 
     def _plan_join(
@@ -659,8 +667,25 @@ class Planner:
                 if conjunct.op in ("<>", "!="):
                     return Selectivity.inequality(distinct)
                 if conjunct.op in _RANGE_OPS:
-                    return Selectivity.range()
+                    value = (
+                        key_side.value
+                        if isinstance(key_side, ast.Literal)
+                        else None  # Param: value unknown at plan time
+                    )
+                    return Selectivity.range(
+                        self._column_stats(table, col_side.column),
+                        conjunct.op,
+                        value,
+                    )
         return 1.0
+
+    def _column_stats(self, table: Any, column: str):
+        if self.stats is None:
+            return None
+        table_stats = self.stats.table(table.name)
+        if table_stats is None:
+            return None
+        return table_stats.columns.get(column)
 
     def _join_step_estimate(
         self,
@@ -746,7 +771,12 @@ class Planner:
             est = max(outer * inner * factor, 1.0)
             return max(est, outer) if node.kind == "left" else est
         if isinstance(node, Filter):
-            return max((node.child.est_rows or 1.0) * RANGE_SELECTIVITY, 1.0)
+            factor = (
+                node.selectivity
+                if node.selectivity is not None
+                else RANGE_SELECTIVITY
+            )
+            return max((node.child.est_rows or 1.0) * factor, 1.0)
         if isinstance(node, Aggregate):
             if not node.group_fns:
                 return 1.0

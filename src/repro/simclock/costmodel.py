@@ -28,6 +28,7 @@ DEFAULT_WEIGHTS: dict[str, float] = {
     "page_read": 120.0,       # read a page from disk (cold)
     "page_write": 140.0,      # write a page back to disk
     "buffer_hit": 0.35,       # find a page in the buffer pool
+    "cache_hit": 0.3,         # serve a derived result from an engine cache
     "record_read": 0.12,      # fetch a fixed-size store record by offset
     "record_write": 0.25,     # update a fixed-size store record
     "index_probe": 1.1,       # full root-to-leaf descent, nodes cached

@@ -9,6 +9,7 @@ cardinality model) to attach expected row counts to their warnings.
 
 from repro.stats.collect import (
     ColumnStats,
+    EquiWidthHistogram,
     GraphStatistics,
     SqlStatistics,
     TableStats,
@@ -25,6 +26,7 @@ from repro.stats.snbmodel import (
 
 __all__ = [
     "ColumnStats",
+    "EquiWidthHistogram",
     "GraphStatistics",
     "Selectivity",
     "SqlStatistics",

@@ -4,9 +4,18 @@ Every engine-specific planner reduces its estimation problem to these
 formulas; keeping them in one place keeps the engines' cost models
 comparable, which matters when the benchmark attributes latency
 differences to plan quality.
+
+Range predicates prefer the column's equi-width histogram when ANALYZE
+recorded one; the 1/3 System R default remains the fallback for unknown
+columns and parameter markers (whose value is unknown at plan time).
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.stats.collect import ColumnStats
 
 #: selectivity of a range predicate (<, <=, >, >=) without histograms
 RANGE_SELECTIVITY = 1.0 / 3.0
@@ -36,7 +45,24 @@ class Selectivity:
         return (distinct - 1.0) / distinct
 
     @staticmethod
-    def range() -> float:
+    def range(
+        column: "ColumnStats | None" = None,
+        op: str | None = None,
+        value: Any = None,
+    ) -> float:
+        """``col <op> const``: histogram estimate when available.
+
+        With no arguments (or no histogram / non-numeric constant) this
+        is the System R 1/3 default.
+        """
+        if (
+            column is not None
+            and column.histogram is not None
+            and op in ("<", "<=", ">", ">=")
+            and isinstance(value, (int, float))
+            and not isinstance(value, bool)
+        ):
+            return column.histogram.selectivity(op, float(value))
         return RANGE_SELECTIVITY
 
     @staticmethod

@@ -10,6 +10,9 @@ suffers from sudden drops due to checkpointing".
 
 from __future__ import annotations
 
+from collections.abc import Iterator
+from contextlib import contextmanager
+
 from repro.simclock.ledger import charge
 from repro.storage.buffer import BufferPool
 
@@ -23,6 +26,7 @@ class WriteAheadLog:
         self.appended_bytes = 0
         self.fsync_count = 0
         self._last_synced_lsn = 0
+        self._deferring = False
 
     def append(self, record: bytes) -> int:
         """Append one record; returns its LSN (1-based)."""
@@ -32,11 +36,36 @@ class WriteAheadLog:
         return len(self._records)
 
     def commit(self) -> None:
-        """Make everything appended so far durable (one fsync)."""
+        """Make everything appended so far durable (one fsync).
+
+        Inside a :meth:`group` block the fsync is deferred: the batch
+        becomes durable as a unit when the block exits.
+        """
+        if self._deferring:
+            return
         if self._last_synced_lsn < len(self._records):
             charge("wal_fsync")
             self.fsync_count += 1
             self._last_synced_lsn = len(self._records)
+
+    @contextmanager
+    def group(self) -> Iterator[None]:
+        """Defer intermediate commits: one fsync for the whole batch.
+
+        This is the group-commit half of the batched write pipeline —
+        the interactive writer applies a poll's worth of update events
+        under one ``group()`` so the batch costs a single ``wal_fsync``
+        instead of one per event.  Nested groups join the outermost.
+        """
+        if self._deferring:
+            yield
+            return
+        self._deferring = True
+        try:
+            yield
+        finally:
+            self._deferring = False
+            self.commit()
 
     @property
     def last_lsn(self) -> int:

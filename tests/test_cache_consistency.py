@@ -1,0 +1,195 @@
+"""Caching must never change answers.
+
+Two suites: an interleaving suite that races DDL / ANALYZE / updates
+against cached reads on each engine (the staleness-hazard audit in
+``repro.cache`` made executable), and a property-style suite that runs
+the interactive read/update mix against every system twice — caches off
+and caches on — and asserts byte-identical answers plus nonzero hit
+rates on the cached side.
+"""
+
+import pytest
+
+from repro.core import SUT_KEYS, make_connector
+from repro.core.benchmark import WorkloadParams
+from repro.graphdb import GraphDatabase
+from repro.rdf import RdfDatabase
+from repro.relational import Database
+from repro.snb import GeneratorConfig, generate
+
+CONFIG = GeneratorConfig(scale_factor=3, scale_divisor=8000, seed=13)
+
+READ_OPS = [
+    ("point_lookup", "person_ids"),
+    ("one_hop", "person_ids"),
+    ("two_hop", "person_ids"),
+    ("person_friends", "person_ids"),
+    ("message_content", "message_ids"),
+    ("message_creator", "message_ids"),
+]
+
+
+def _normalize(value):
+    if isinstance(value, list):
+        return [tuple(v) if isinstance(v, (list, tuple)) else v for v in value]
+    if isinstance(value, tuple):
+        return tuple(value)
+    return value
+
+
+class TestInterleavedStaleness:
+    """DDL / ANALYZE / writes between cached reads stay consistent."""
+
+    def test_sql_analyze_and_index_between_cached_reads(self):
+        db = Database("row")
+        db.execute(
+            "CREATE TABLE person (id BIGINT PRIMARY KEY, city TEXT)"
+        )
+        for pid in range(30):
+            db.execute(
+                "INSERT INTO person VALUES (?, ?)", (pid, f"c{pid % 5}")
+            )
+        q = "SELECT id FROM person WHERE city = ?"
+        baseline = sorted(db.query(q, ("c1",)))
+        db.analyze()  # epoch bump: cached plan must be dropped
+        assert sorted(db.query(q, ("c1",))) == baseline
+        db.execute("CREATE INDEX ON person (city) USING HASH")
+        assert sorted(db.query(q, ("c1",))) == baseline
+        db.execute("INSERT INTO person VALUES (?, ?)", (30, "c1"))
+        assert sorted(db.query(q, ("c1",))) == baseline + [(30,)]
+
+    def test_cypher_update_between_cached_adjacency_reads(self):
+        db = GraphDatabase()
+        db.enable_adjacency_cache()
+        db.create_index("Person", "id")
+        for pid in range(3):
+            db.execute(f"CREATE (:Person {{id: {pid}}})")
+        db.execute(
+            "MATCH (a:Person), (b:Person) WHERE a.id = 0 AND b.id = 1 "
+            "CREATE (a)-[:KNOWS]->(b)"
+        )
+        q = (
+            "MATCH (a:Person)-[:KNOWS]-(b:Person) WHERE a.id = 0 "
+            "RETURN b.id ORDER BY b.id"
+        )
+        assert db.execute(q) == [(1,)]
+        # the write invalidates node 0's cached neighborhood
+        db.execute(
+            "MATCH (a:Person), (b:Person) WHERE a.id = 0 AND b.id = 2 "
+            "CREATE (a)-[:KNOWS]->(b)"
+        )
+        assert db.execute(q) == [(1,), (2,)]
+        db.analyze()  # whole-cache fallback must not change answers
+        assert db.execute(q) == [(1,), (2,)]
+
+    def test_sparql_analyze_between_cached_reads(self):
+        db = RdfDatabase()
+        for i in range(8):
+            db.store.add(f"sn:p{i}", "snb:id", i)
+            db.store.add(f"sn:p{i}", "snb:firstName", f"n{i}")
+        q = (
+            "SELECT ?n WHERE { ?p snb:id ?i . ?p snb:firstName ?n } "
+            "ORDER BY ?n"
+        )
+        baseline = db.execute(q)
+        db.analyze()  # swaps stats and clears the estimate memo
+        assert db.execute(q) == baseline
+        db.store.add("sn:p8", "snb:id", 8)
+        db.store.add("sn:p8", "snb:firstName", "n8")
+        assert db.execute(q) == baseline + [("n8",)]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate(CONFIG)
+
+
+@pytest.fixture(scope="module")
+def params(dataset):
+    return WorkloadParams.curate(dataset, count=4, seed=3)
+
+
+@pytest.fixture(scope="module")
+def pairs(dataset):
+    """(plain, cached) connector pairs for every system, same updates."""
+    result = {}
+    events = dataset.updates[:30]
+    for key in SUT_KEYS:
+        plain = make_connector(key)
+        plain.load(dataset)
+        cached = make_connector(key)
+        cached.load(dataset)
+        cached.enable_caching()
+        # interleave reads with the update stream on both sides so the
+        # cached connector has warm entries the writes must invalidate
+        for connector in (plain, cached):
+            for event in events[:10]:
+                connector.apply_update(event)
+        result[key] = (plain, cached)
+    return result, events
+
+
+class TestCachedEqualsUncached:
+    def test_reads_identical_with_and_without_caching(
+        self, pairs, params
+    ):
+        connectors, _events = pairs
+        for key, (plain, cached) in connectors.items():
+            for op, id_attr in READ_OPS:
+                for ident in getattr(params, id_attr)[:3]:
+                    expected = _normalize(getattr(plain, op)(ident))
+                    # twice: the second read is served from warm caches
+                    for _ in range(2):
+                        got = _normalize(getattr(cached, op)(ident))
+                        assert got == expected, (key, op, ident)
+
+    def test_reads_identical_after_more_updates(self, pairs, params):
+        connectors, events = pairs
+        for key, (plain, cached) in connectors.items():
+            for event in events[10:]:
+                plain.apply_update(event)
+                cached.apply_update(event)
+            for op, id_attr in READ_OPS[:4]:
+                for ident in getattr(params, id_attr)[:2]:
+                    expected = _normalize(getattr(plain, op)(ident))
+                    got = _normalize(getattr(cached, op)(ident))
+                    assert got == expected, (key, op, ident)
+
+    def test_cached_connectors_report_nonzero_hit_rates(self, pairs):
+        connectors, _events = pairs
+        for key, (_plain, cached) in connectors.items():
+            stats = cached.cache_stats()
+            assert stats, key
+            assert any(s.hits > 0 for s in stats), (key, stats)
+
+    def test_shortest_path_identical(self, pairs, params):
+        connectors, _events = pairs
+        for key, (plain, cached) in connectors.items():
+            for pair in params.path_pairs[:2]:
+                assert cached.shortest_path(*pair) == plain.shortest_path(
+                    *pair
+                ), (key, pair)
+
+
+class TestBatchedApplyEquivalence:
+    """apply_update_batch must leave the store identical to per-event."""
+
+    @pytest.mark.parametrize(
+        "key", ["postgres-sql", "neo4j-cypher", "virtuoso-sparql"]
+    )
+    def test_batch_matches_per_event(self, dataset, key):
+        events = dataset.updates[:40]
+        one_by_one = make_connector(key)
+        one_by_one.load(dataset)
+        for event in events:
+            one_by_one.apply_update(event)
+        batched = make_connector(key)
+        batched.load(dataset)
+        for start in range(0, len(events), 16):
+            batched.apply_update_batch(events[start : start + 16])
+        params = WorkloadParams.curate(dataset, count=3, seed=3)
+        for op, id_attr in READ_OPS:
+            for ident in getattr(params, id_attr)[:2]:
+                assert _normalize(
+                    getattr(batched, op)(ident)
+                ) == _normalize(getattr(one_by_one, op)(ident)), (op, ident)

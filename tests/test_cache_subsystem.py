@@ -1,0 +1,336 @@
+"""The shared caching subsystem: LRU bookkeeping, epoch and
+dependency-set invalidation, the engines' uniform ``cache_stats()``
+facades, the store's neighborhood cache, and WAL group commit."""
+
+import pytest
+
+from repro.cache import (
+    CacheStats,
+    DependencyTrackingCache,
+    EpochKeyedCache,
+    LRUCache,
+)
+from repro.graphdb import Direction, GraphDatabase, GraphStore
+from repro.rdf import RdfDatabase
+from repro.relational import Database
+from repro.simclock import meter
+from repro.storage.wal import WriteAheadLog
+from repro.tinkerpop import Graph, GremlinServer, TinkerGraphProvider
+
+
+class TestLRUCache:
+    def test_hit_and_miss_counters(self):
+        cache = LRUCache(4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # touch: "b" is now the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.evictions == 1
+
+    def test_peek_does_not_touch_counters_or_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.peek("a") == 1
+        assert cache.peek("zzz") is None
+        assert (cache.hits, cache.misses) == (0, 0)
+        cache.put("c", 3)  # "a" was not touched, so it is evicted
+        assert "a" not in cache
+
+    def test_invalidate(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.invalidate("a")
+        assert not cache.invalidate("a")
+        assert cache.invalidate_all() == 1
+        assert cache.invalidations == 2
+        assert len(cache) == 0
+
+    def test_stats_snapshot(self):
+        cache = LRUCache(8, name="unit")
+        cache.put("k", "v")
+        cache.get("k")
+        stats = cache.stats()
+        assert isinstance(stats, CacheStats)
+        assert stats.name == "unit"
+        assert (stats.size, stats.capacity) == (1, 8)
+        assert stats.hits == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+class TestEpochKeyedCache:
+    def test_store_and_lookup(self):
+        cache = EpochKeyedCache(4)
+        assert cache.lookup("q") is None
+        cache.store("q", "plan")
+        assert cache.lookup("q") == "plan"
+
+    def test_bump_epoch_invalidates_everything(self):
+        cache = EpochKeyedCache(4)
+        cache.store("q", "plan")
+        cache.bump_epoch()
+        assert cache.lookup("q") is None
+        assert cache == {}
+
+    def test_stale_stamp_counts_as_a_miss(self):
+        cache = EpochKeyedCache(4)
+        cache.store("q", "plan")
+        cache.epoch += 1  # epoch moved without an explicit clear
+        assert cache.lookup("q") is None
+        stats = cache.stats()
+        assert stats.hits == 0
+        assert stats.misses == 1  # the stale lookup, not a raw hit
+
+    def test_mapping_protocol_exposes_epoch_value_pairs(self):
+        cache = EpochKeyedCache(4)
+        cache.store("q", "plan")
+        assert "q" in cache
+        assert cache["q"] == (cache.epoch, "plan")
+
+
+class TestDependencyTrackingCache:
+    def test_member_invalidation_is_exact(self):
+        cache = DependencyTrackingCache(16)
+        cache.put("n1", "hood-1", deps=(1, 2))
+        cache.put("n3", "hood-3", deps=(3,))
+        assert cache.invalidate_members((2,)) == 1
+        assert cache.get("n1") is None
+        assert cache.get("n3") == "hood-3"
+
+    def test_unrelated_member_invalidates_nothing(self):
+        cache = DependencyTrackingCache(16)
+        cache.put("n1", "hood-1", deps=(1,))
+        assert cache.invalidate_members((99,)) == 0
+        assert cache.get("n1") == "hood-1"
+
+    def test_eviction_unlinks_dependencies(self):
+        cache = DependencyTrackingCache(1)
+        cache.put("n1", "hood-1", deps=(1,))
+        cache.put("n2", "hood-2", deps=(2,))  # evicts n1
+        # invalidating member 1 must not resurrect or double-count n1
+        assert cache.invalidate_members((1,)) == 0
+        assert cache.get("n2") == "hood-2"
+
+    def test_invalidate_all_is_the_bulk_fallback(self):
+        cache = DependencyTrackingCache(16)
+        cache.put("n1", "x", deps=(1,))
+        cache.put("n2", "y", deps=(2,))
+        assert cache.invalidate_all() == 2
+        assert cache.invalidate_members((1, 2)) == 0
+
+
+@pytest.fixture()
+def friends_store():
+    """a - b - c - d chain plus an index, neighborhood cache enabled."""
+    store = GraphStore()
+    ids = [store.create_node(["Person"], {"id": i}) for i in range(4)]
+    for left, right in zip(ids, ids[1:]):
+        store.create_rel("KNOWS", left, right)
+    store.enable_neighborhood_cache()
+    return store, ids
+
+
+class TestNeighborhoodCache:
+    def test_disabled_store_returns_lazy_iterator(self):
+        store = GraphStore()
+        a = store.create_node(["Person"], {"id": 1})
+        b = store.create_node(["Person"], {"id": 2})
+        store.create_rel("KNOWS", a, b)
+        result = store.neighbors(a)
+        assert not isinstance(result, (list, tuple))  # chain walk, lazy
+        assert [other for _, other in result] == [b]
+        assert store.cache_stats() == []
+
+    def test_warm_read_charges_cache_hit_not_record_reads(self, friends_store):
+        store, ids = friends_store
+        cold = tuple(store.neighbors(ids[1]))
+        with meter() as ledger:
+            warm = tuple(store.neighbors(ids[1]))
+        assert warm == cold
+        assert ledger.counters.get("cache_hit") == 1
+        assert "record_read" not in ledger.counters
+
+    def test_edge_insert_invalidates_only_endpoint_neighborhoods(
+        self, friends_store
+    ):
+        store, ids = friends_store
+        for nid in ids:
+            tuple(store.neighbors(nid))  # populate all four entries
+        before = store.cache_stats()[0]
+        store.create_rel("KNOWS", ids[0], ids[3])
+        after = store.cache_stats()[0]
+        assert after.invalidations - before.invalidations == 2
+        # untouched nodes stay warm, endpoints recompute correctly
+        with meter() as ledger:
+            tuple(store.neighbors(ids[1]))
+        assert ledger.counters.get("cache_hit") == 1
+        assert {o for _, o in store.neighbors(ids[0])} == {ids[1], ids[3]}
+
+    def test_friends_of_friends_cached_and_correct(self, friends_store):
+        store, ids = friends_store
+        cold = store.friends_of_friends(ids[0])
+        assert cold == (ids[2],)
+        with meter() as ledger:
+            warm = store.friends_of_friends(ids[0])
+        assert warm == cold
+        assert ledger.counters.get("cache_hit") == 1
+
+    def test_two_hop_entry_invalidated_by_a_friends_new_edge(
+        self, friends_store
+    ):
+        store, ids = friends_store
+        assert store.friends_of_friends(ids[0]) == (ids[2],)
+        # new edge at b (a's friend) changes a's two-hop frontier
+        e = store.create_node(["Person"], {"id": 9})
+        store.create_rel("KNOWS", ids[1], e)
+        assert store.friends_of_friends(ids[0]) == tuple(
+            sorted((ids[2], e))
+        )
+
+    def test_delete_node_invalidates_its_neighborhood(self, friends_store):
+        store, ids = friends_store
+        extra = store.create_node(["Person"], {"id": 8})
+        tuple(store.neighbors(extra))
+        before = store.cache_stats()[0].invalidations
+        store.delete_node(extra)
+        assert store.cache_stats()[0].invalidations > before
+
+    def test_invalidate_caches_is_the_epoch_fallback(self, friends_store):
+        store, ids = friends_store
+        tuple(store.neighbors(ids[0]))
+        store.invalidate_caches()
+        with meter() as ledger:
+            tuple(store.neighbors(ids[0]))
+        assert "cache_hit" not in ledger.counters
+
+
+class TestWalGroupCommit:
+    def test_group_defers_to_one_fsync(self):
+        wal = WriteAheadLog()
+        with wal.group():
+            for i in range(5):
+                wal.append(b"rec")
+                wal.commit()
+        assert wal.fsync_count == 1
+
+    def test_nested_groups_join_the_outermost(self):
+        wal = WriteAheadLog()
+        with wal.group():
+            wal.append(b"a")
+            wal.commit()
+            with wal.group():
+                wal.append(b"b")
+                wal.commit()
+            wal.append(b"c")
+            wal.commit()
+        assert wal.fsync_count == 1
+
+    def test_commits_outside_a_group_fsync_each(self):
+        wal = WriteAheadLog()
+        wal.append(b"a")
+        wal.commit()
+        wal.append(b"b")
+        wal.commit()
+        assert wal.fsync_count == 2
+
+
+class TestEngineFacades:
+    def test_sql_engine_reports_statement_and_plan_caches(self):
+        db = Database("row")
+        db.execute("CREATE TABLE t (id BIGINT PRIMARY KEY)")
+        db.execute("INSERT INTO t VALUES (?)", (1,))
+        db.query("SELECT id FROM t", ())
+        db.query("SELECT id FROM t", ())
+        names = {s.name for s in db.cache_stats()}
+        assert names == {"sql-statements", "sql-plans"}
+        plans = next(
+            s for s in db.cache_stats() if s.name == "sql-plans"
+        )
+        assert plans.hits >= 1
+
+    def test_cypher_engine_reports_plan_cache(self):
+        db = GraphDatabase()
+        db.execute("CREATE (:Person {id: 1})")
+        db.execute("MATCH (p:Person) RETURN p.id")
+        db.execute("MATCH (p:Person) RETURN p.id")
+        stats = {s.name: s for s in db.cache_stats()}
+        assert stats["cypher-plans"].hits >= 1
+
+    def test_cypher_create_index_invalidates_cached_plans(self):
+        db = GraphDatabase()
+        db.execute("CREATE (:Person {id: 1})")
+        db.execute("MATCH (p:Person) WHERE p.id = 1 RETURN p.id")
+        epoch = db._stmt_cache.epoch
+        db.create_index("Person", "id")
+        assert db._stmt_cache.epoch > epoch
+        assert len(db._stmt_cache) == 0
+        # the replanned statement can now use the index, same answer
+        rows = db.execute("MATCH (p:Person) WHERE p.id = 1 RETURN p.id")
+        assert rows == [(1,)]
+
+    def test_sparql_engine_reports_statement_cache(self):
+        db = RdfDatabase()
+        db.store.add("sn:p1", "snb:firstName", "Alice")
+        q = "SELECT ?n WHERE { ?p snb:firstName ?n }"
+        db.execute(q)
+        db.execute(q)
+        stats = {s.name: s for s in db.cache_stats()}
+        assert stats["sparql-statements"].hits >= 1
+
+    def test_all_facades_return_cachestats_rows(self):
+        for facade in (Database("row"), GraphDatabase(), RdfDatabase()):
+            for row in facade.cache_stats():
+                assert isinstance(row, CacheStats)
+
+
+class TestGremlinScriptCache:
+    def _server(self):
+        provider = TinkerGraphProvider()
+        Graph(provider).traversal().addV("person").property(
+            "id", 1
+        ).iterate()
+        return GremlinServer(provider)
+
+    def test_keyed_resubmit_skips_compilation(self):
+        server = self._server()
+        server.enable_script_cache()
+        build = lambda g: g.V().has("person", "id", 1)  # noqa: E731
+        server.submit(build, cache_key="point_lookup")
+        with meter() as ledger:
+            results = server.submit(build, cache_key="point_lookup")
+        assert results  # evaluation still ran
+        assert "gremlin_compile" not in ledger.counters
+        assert ledger.counters.get("cache_hit") == 1
+        assert server.cache_stats()[0].hits == 1
+
+    def test_keyless_submit_always_compiles(self):
+        server = self._server()
+        server.enable_script_cache()
+        for _ in range(2):
+            with meter() as ledger:
+                server.submit(lambda g: g.V().has("person", "id", 1))
+            assert ledger.counters["gremlin_compile"] == 1
+
+    def test_cache_off_by_default(self):
+        server = self._server()
+        assert server.cache_stats() == []
+        for _ in range(2):
+            with meter() as ledger:
+                server.submit(
+                    lambda g: g.V().has("person", "id", 1),
+                    cache_key="point_lookup",
+                )
+            assert ledger.counters["gremlin_compile"] == 1
