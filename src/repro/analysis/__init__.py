@@ -32,7 +32,13 @@ from repro.analysis.cypher import analyze_cypher
 from repro.analysis.sql import analyze_sql
 from repro.analysis.sparql import analyze_sparql
 from repro.analysis.gremlin import analyze_gremlin
-from repro.analysis.consistency import READ_OPERATIONS, check_consistency
+from repro.analysis.consistency import (
+    DECLARED_INSERT_DELTAS,
+    INSERT_OPERATIONS,
+    READ_OPERATIONS,
+    check_consistency,
+    check_insert_consistency,
+)
 from repro.analysis.lockorder import analyze_lock_order
 from repro.analysis.linter import (
     ensure_catalog_valid,
@@ -42,7 +48,9 @@ from repro.analysis.linter import (
 
 __all__ = [
     "CODES",
+    "DECLARED_INSERT_DELTAS",
     "Diagnostic",
+    "INSERT_OPERATIONS",
     "QueryValidationError",
     "READ_OPERATIONS",
     "SchemaCatalog",
@@ -54,6 +62,7 @@ __all__ = [
     "analyze_sparql",
     "analyze_sql",
     "check_consistency",
+    "check_insert_consistency",
     "default_catalog",
     "ensure_catalog_valid",
     "lint_all",

@@ -176,7 +176,10 @@ def _check_endpoints(
 ) -> None:
     rel = catalog.relationships[canonical]
 
-    def fits(src_side, dst_side) -> bool:
+    def fits(
+        src_side: frozenset[str] | None,
+        dst_side: frozenset[str] | None,
+    ) -> bool:
         src_ok = not src_side or bool(src_side & rel.src)
         dst_ok = not dst_side or bool(dst_side & rel.dst)
         return src_ok and dst_ok

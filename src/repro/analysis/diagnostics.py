@@ -18,9 +18,23 @@ QA302    non-sargable filter (expression applied to a column before
 QA303    unanchored scan (traversal / query with no index anchor)
 QA401    cross-dialect schema-footprint mismatch for one operation
 QA402    operation missing from a dialect's catalog
+QA403    undeclared insert-footprint delta (a dialect's insert touches
+         concepts beyond the common core without a declared intent)
 QA501    lock-order cycle across call sites
 QA502    multi-lock acquisition out of sorted resource order
+QA601    unsynchronized shared access (two workers touch one resource
+         with disjoint locksets and no happens-before edge)
+QA602    lock held across a commit boundary (or never released)
+QA701    dangling edge / foreign-key endpoint
+QA702    index entry disagrees with the heap / store row
+QA703    cache entry whose dependency set no longer matches truth
+QA704    WAL / group-commit replay divergence
 =======  ==============================================================
+
+QA1xx-QA5xx are *static* passes over the query catalogs
+(:mod:`repro.analysis`); QA5xx are additionally re-emitted at runtime
+and QA6xx/QA7xx are produced only by the dynamic sanitizer
+(:mod:`repro.sanitizer`), which observes real executions.
 """
 
 from __future__ import annotations
@@ -51,8 +65,15 @@ CODES: dict[str, tuple[str, Severity]] = {
     "QA303": ("unanchored-scan", Severity.WARNING),
     "QA401": ("cross-dialect-mismatch", Severity.ERROR),
     "QA402": ("missing-operation", Severity.ERROR),
+    "QA403": ("undeclared-insert-footprint-delta", Severity.ERROR),
     "QA501": ("lock-order-cycle", Severity.ERROR),
     "QA502": ("unsorted-lock-acquisition", Severity.WARNING),
+    "QA601": ("unsynchronized-shared-access", Severity.ERROR),
+    "QA602": ("lock-across-commit", Severity.ERROR),
+    "QA701": ("dangling-endpoint", Severity.ERROR),
+    "QA702": ("index-store-mismatch", Severity.ERROR),
+    "QA703": ("stale-cache-dependency", Severity.ERROR),
+    "QA704": ("wal-replay-divergence", Severity.ERROR),
 }
 
 
@@ -89,6 +110,19 @@ class Diagnostic:
             f"{self.code} {self.severity.value:7s} {self.location}: "
             f"{self.message}"
         )
+
+    def to_dict(self) -> dict[str, object]:
+        """The stable JSON shape emitted by ``--format json`` (one
+        object per line); pinned by the CLI tests."""
+        return {
+            "code": self.code,
+            "name": self.name,
+            "severity": self.severity.value,
+            "dialect": self.location.dialect,
+            "operation": self.location.operation,
+            "query_index": self.location.query_index,
+            "message": self.message,
+        }
 
 
 def make(code: str, message: str, location: SourceLocation) -> Diagnostic:

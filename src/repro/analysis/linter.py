@@ -14,7 +14,10 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping
 from pathlib import Path
 
-from repro.analysis.consistency import check_consistency
+from repro.analysis.consistency import (
+    check_consistency,
+    check_insert_consistency,
+)
 from repro.analysis.cypher import AnalysisResult, analyze_cypher
 from repro.analysis.diagnostics import (
     Diagnostic,
@@ -116,5 +119,6 @@ def lint_all(
         for result in results.values():
             diagnostics.extend(result.diagnostics)
     diagnostics.extend(check_consistency(per_dialect, catalog))
+    diagnostics.extend(check_insert_consistency(per_dialect, catalog))
     diagnostics.extend(analyze_lock_order(lock_paths))
     return diagnostics

@@ -97,11 +97,16 @@ class Relationship:
     props: dict[str, str]
 
 
-def _to_set(value) -> frozenset[str]:
+def _to_set(value: str | set[str]) -> frozenset[str]:
     return frozenset({value}) if isinstance(value, str) else frozenset(value)
 
 
-def _rel(name: str, src, dst, props: dict[str, str] | None = None):
+def _rel(
+    name: str,
+    src: str | set[str],
+    dst: str | set[str],
+    props: dict[str, str] | None = None,
+) -> Relationship:
     return Relationship(name, _to_set(src), _to_set(dst), props or {})
 
 

@@ -263,6 +263,17 @@ class DependencyTrackingCache:
         self._deps_of.clear()
         return self._lru.invalidate_all()
 
+    def entries(
+        self,
+    ) -> list[tuple[Hashable, Any, frozenset[Hashable]]]:
+        """``(key, value, deps)`` triples for introspection — the
+        sanitizer's QA703 audit recomputes each entry from the store
+        and compares both the value and the declared dependency set."""
+        return [
+            (key, value, self._deps_of.get(key, frozenset()))
+            for key, value in self._lru.items()
+        ]
+
     def _unlink(self, key: Hashable) -> None:
         for member in self._deps_of.pop(key, ()):
             keys = self._dependents.get(member)

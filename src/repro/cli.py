@@ -8,6 +8,8 @@ Commands
 ``load``         the Table 4 / Appendix A ingestion experiment
 ``validate``     cross-check that all systems answer queries identically
 ``lint``         statically analyse the query catalogs against the schema
+``sanitize``     run the interactive workload under the race detector
+                 and data-integrity auditors (optionally fault-injected)
 ``systems``      list the eight SUT keys
 """
 
@@ -244,23 +246,102 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     Exit status is 1 when any ERROR-severity diagnostic is found (or,
     with ``--strict``, any diagnostic at all), so CI can gate on it.
+    With ``--format json`` each diagnostic is one JSON object per line
+    (machine-readable; the summary line is suppressed).
     """
+    import json
+
     from repro.analysis import Severity, lint_all
 
     diagnostics = lint_all()
-    for diagnostic in diagnostics:
-        print(f"{diagnostic.severity.name:7s} {diagnostic}")
+    if args.format == "json":
+        for diagnostic in diagnostics:
+            print(json.dumps(diagnostic.to_dict(), sort_keys=True))
+    else:
+        for diagnostic in diagnostics:
+            print(f"{diagnostic.severity.name:7s} {diagnostic}")
     error_count = sum(
         1 for d in diagnostics if d.severity is Severity.ERROR
     )
     warning_count = len(diagnostics) - error_count
-    print(
-        f"lint: {error_count} error(s), {warning_count} warning(s) "
-        f"across 4 dialect catalogs"
-    )
+    if args.format != "json":
+        print(
+            f"lint: {error_count} error(s), {warning_count} warning(s) "
+            f"across 4 dialect catalogs"
+        )
     if error_count or (args.strict and diagnostics):
         return 1
     return 0
+
+
+def cmd_sanitize(args: argparse.Namespace) -> int:
+    """Run the Figure 3 workload under full instrumentation.
+
+    Without ``--inject``: exit 1 if any diagnostic fires (the clean run
+    must be silent).  With ``--inject MODE``: exit 0 only when the run
+    reports *exactly* the planted fault's expected codes, so the matrix
+    doubles as an end-to-end self-test of the sanitizer.
+    """
+    import json
+
+    from repro.sanitizer.faults import FAULTS, applicable_modes
+    from repro.sanitizer.harness import run_sanitize
+
+    dataset = _dataset(args)
+    systems = _parse_systems(args.systems)
+    reports = []
+    for key in systems:
+        if args.inject is not None:
+            from repro.core import make_connector
+
+            targets = make_connector(key).sanitize_targets()
+            if args.inject not in applicable_modes(targets):
+                print(f"{key}: fault {args.inject!r} not applicable, skipped")
+                continue
+        reports.append(
+            run_sanitize(
+                key,
+                dataset,
+                readers=args.readers,
+                duration_ms=args.duration_ms,
+                write_batch_size=args.write_batch_size,
+                max_update_events=args.max_update_events,
+                inject_mode=args.inject,
+            )
+        )
+
+    failed = 0
+    for report in reports:
+        if args.format == "json":
+            for diagnostic in report.diagnostics:
+                row = diagnostic.to_dict()
+                row["system"] = report.system
+                print(json.dumps(row, sort_keys=True))
+        else:
+            for diagnostic in report.diagnostics:
+                print(f"{report.system}: {diagnostic}")
+        if not report.ok:
+            failed += 1
+        if args.format != "json":
+            verdict = "ok" if report.ok else "FAILED"
+            wanted = (
+                f", expected {sorted(report.expected)}"
+                if report.inject
+                else ""
+            )
+            print(
+                f"{report.system}: {verdict} — "
+                f"{len(report.diagnostics)} diagnostic(s), "
+                f"{report.event_count} events, "
+                f"{report.updates_applied} update(s) applied, "
+                f"batch={report.write_batch_size}"
+                f"{wanted}"
+            )
+    if args.inject is not None and not reports:
+        known = ", ".join(sorted(FAULTS))
+        print(f"no system supports {args.inject!r} (known modes: {known})")
+        return 1
+    return 1 if failed else 0
 
 
 def _normalize(value):
@@ -321,7 +402,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict", action="store_true",
         help="fail on warnings as well as errors",
     )
+    p.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="json prints one diagnostic object per line",
+    )
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser(
+        "sanitize",
+        help="race detection + integrity audits over a workload run",
+    )
+    _add_dataset_args(p)
+    p.add_argument("--systems", default="all",
+                   help="comma-separated SUT keys or 'all'")
+    p.add_argument("--readers", type=int, default=4)
+    p.add_argument("--duration-ms", type=float, default=200.0)
+    p.add_argument(
+        "--write-batch-size", type=int, default=1,
+        help=">1 drains updates through the group-committed batch path",
+    )
+    p.add_argument(
+        "--max-update-events", type=int, default=None,
+        help="cap the Kafka update stream (full stream by default)",
+    )
+    p.add_argument(
+        "--inject", default=None, metavar="MODE",
+        help="plant a seeded fault; the run then must report exactly "
+             "that fault's codes (see repro.sanitizer.faults)",
+    )
+    p.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="json prints one diagnostic object per line",
+    )
+    p.set_defaults(fn=cmd_sanitize)
 
     p = sub.add_parser("load", help="Table 4 / Appendix A ingestion")
     _add_dataset_args(p)

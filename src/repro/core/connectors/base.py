@@ -227,6 +227,19 @@ class Connector(ABC):
         """Uniform :class:`repro.cache.CacheStats` rows, all engine caches."""
         return []
 
+    # -- sanitizer hooks (overridden where relevant) ---------------------------------------
+
+    def sanitize_targets(self) -> dict[str, object]:
+        """Engine objects the data-integrity sanitizer may audit.
+
+        Maps a target kind understood by
+        :func:`repro.sanitizer.integrity.audit_connector` (``"sql"``,
+        ``"sqlg"``, ``"graph"``, ``"rdf"``, ``"titan"``, ``"wal"``) to
+        the live engine object.  Empty means the connector opts out of
+        post-run auditing.
+        """
+        return {}
+
     # -- concurrency hooks (overridden where relevant) -------------------------------------
 
     def checkpoint_pages(self) -> int:

@@ -159,6 +159,9 @@ class CypherConnector(Connector):
             self.db.create_index(label, "id")
         self._node_of: dict[int, int] = {}  # snb id -> store node id
 
+    def sanitize_targets(self) -> dict[str, object]:
+        return {"graph": self.db.store, "wal": self.db.wal}
+
     # -- loading ------------------------------------------------------------------
 
     def load(self, dataset: SnbDataset) -> None:

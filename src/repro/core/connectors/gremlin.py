@@ -795,6 +795,9 @@ class Neo4jGremlinConnector(GremlinConnector):
             provider.store.create_index(label, key)
         return provider
 
+    def sanitize_targets(self) -> dict[str, object]:
+        return {"graph": self.provider.store}
+
     def supports_concurrent_loading(self) -> bool:
         """Neo4j (Gremlin) does not support concurrent loading (App. A)."""
         return False
@@ -810,6 +813,9 @@ class TitanCassandraConnector(GremlinConnector):
             provider.create_index(label, key)
         return provider
 
+    def sanitize_targets(self) -> dict[str, object]:
+        return {"titan": self.provider}
+
 
 class TitanBerkeleyConnector(GremlinConnector):
     key = "titan-b"
@@ -821,6 +827,9 @@ class TitanBerkeleyConnector(GremlinConnector):
         for label, key in VERTEX_INDEXES:
             provider.create_index(label, key)
         return provider
+
+    def sanitize_targets(self) -> dict[str, object]:
+        return {"titan": self.provider}
 
 
 class SqlgConnector(GremlinConnector):
@@ -873,3 +882,6 @@ class SqlgConnector(GremlinConnector):
         ]:
             provider.define_edge_label(edge_label, props)
         return provider
+
+    def sanitize_targets(self) -> dict[str, object]:
+        return {"sqlg": self.provider.db}

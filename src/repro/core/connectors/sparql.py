@@ -134,6 +134,66 @@ SPARQL_QUERIES: dict[str, tuple[str, ...]] = {
         "?m snb:content ?content . ?m snb:creationDate ?d } "
         "ORDER BY DESC(?d) DESC(?mid)",
     ),
+    # -- insert templates -----------------------------------------------------
+    # Anchored SELECT patterns mirroring the ``_*_triples`` builders
+    # below, pattern for pattern: the linter derives each insert's
+    # schema footprint from these, and the cross-dialect QA403 pass
+    # compares it against the other dialects' insert footprints.
+    # Reified-statement subjects (``sn:knows{n}`` …) carry only their
+    # statement predicates here — their ``creationDate`` literal is an
+    # annotation of the statement, not of a schema entity.
+    "add_person": (
+        "SELECT ?p WHERE { ?p snb:id $id . ?p rdf:type snb:Person . "
+        "?p snb:firstName ?fn . ?p snb:lastName ?ln . "
+        "?p snb:gender ?g . ?p snb:birthday ?bd . "
+        "?p snb:creationDate ?cd . ?p snb:browserUsed ?b . "
+        "?p snb:locationIP ?ip . ?p snb:isLocatedIn ?city . "
+        "?city rdf:type snb:Place . ?p snb:speaks ?lang . "
+        "?p snb:email ?em . ?p snb:hasInterest ?t . "
+        "?t rdf:type snb:Tag . ?p snb:studyAt ?u . "
+        "?p snb:workAt ?co }",
+    ),
+    "add_friendship": (
+        "SELECT ?f WHERE { ?p snb:id $id1 . ?f snb:id $id2 . "
+        "?p rdf:type snb:Person . ?f rdf:type snb:Person . "
+        "?p snb:knows ?f . ?f snb:knows ?p . "
+        "?s snb:knowsFrom ?p . ?s snb:knowsTo ?f }",
+    ),
+    "add_forum": (
+        "SELECT ?f WHERE { ?f snb:id $id . ?f rdf:type snb:Forum . "
+        "?f snb:title ?t . ?f snb:creationDate ?cd . "
+        "?f snb:hasModerator ?mod . ?f snb:hasTag ?tag . "
+        "?tag rdf:type snb:Tag }",
+    ),
+    "add_forum_membership": (
+        "SELECT ?f WHERE { ?f snb:id $fid . ?p snb:id $pid . "
+        "?f rdf:type snb:Forum . ?p rdf:type snb:Person . "
+        "?f snb:hasMember ?p . ?s snb:memberForum ?f . "
+        "?s snb:memberPerson ?p . ?s snb:joinDate ?jd }",
+    ),
+    "add_post": (
+        "SELECT ?m WHERE { ?m snb:id $id . ?m rdf:type snb:Post . "
+        "?m snb:creationDate ?cd . ?m snb:content ?c . "
+        "?m snb:length ?len . ?m snb:browserUsed ?b . "
+        "?m snb:locationIP ?ip . ?m snb:language ?lang . "
+        "?m snb:hasCreator ?p . ?f snb:containerOf ?m . "
+        "?m snb:isLocatedIn ?ctry . ?m snb:hasTag ?t . "
+        "?t rdf:type snb:Tag }",
+    ),
+    "add_comment": (
+        "SELECT ?m WHERE { ?m snb:id $id . ?m rdf:type snb:Comment . "
+        "?m snb:creationDate ?cd . ?m snb:content ?c . "
+        "?m snb:length ?len . ?m snb:browserUsed ?b . "
+        "?m snb:locationIP ?ip . ?m snb:hasCreator ?p . "
+        "?m snb:replyOf ?r . ?m snb:rootPost ?rp . "
+        "?m snb:isLocatedIn ?ctry . ?m snb:hasTag ?t . "
+        "?t rdf:type snb:Tag }",
+    ),
+    "add_like": (
+        "SELECT ?p WHERE { ?p snb:id $pid . ?m snb:id $mid . "
+        "?p rdf:type snb:Person . ?p snb:likes ?m . "
+        "?s snb:likePerson ?p . ?s snb:likeMessage ?m }",
+    ),
 }
 
 
@@ -149,6 +209,9 @@ class VirtuosoSparqlConnector(Connector):
         self._validate_queries()
         self.db = RdfDatabase("virtuoso-rdf")
         self._statement_seq = 0
+
+    def sanitize_targets(self) -> dict[str, object]:
+        return {"rdf": self.db.store, "wal": self.db.wal}
 
     # -- loading --------------------------------------------------------------------
 

@@ -210,6 +210,9 @@ class SqlConnector(Connector):
             self.db.execute(ddl)
         self._batch_depth = 0
 
+    def sanitize_targets(self) -> dict[str, object]:
+        return {"sql": self.db}
+
     # -- loading -----------------------------------------------------------------
 
     def load(self, dataset: SnbDataset) -> None:

@@ -30,6 +30,7 @@ from repro.core.connectors.gremlin import GremlinConnector
 from repro.core.metrics import LatencyRecorder, ThroughputWindow
 from repro.driver.workload import QueryMix
 from repro.kafka import Broker, Consumer, Producer
+from repro.sanitizer import runtime
 from repro.simclock import (
     Acquire,
     CostModel,
@@ -144,11 +145,15 @@ class InteractiveWorkloadRunner:
         mix = QueryMix(params, mix=config.mix, seed=config.seed)
         deadline_us = config.duration_ms * 1000.0
 
-        def execute(op) -> float | None:
+        def execute(op, who: str = "writer") -> float | None:
             """Run the op for real; returns its simulated cost in us."""
             try:
-                with meter() as ledger:
-                    op()
+                if runtime.TRACE is None:
+                    with meter() as ledger:
+                        op()
+                else:
+                    with runtime.worker(who), meter() as ledger:
+                        op()
             except OperationFailed:
                 return None
             return self.model.cost_us(ledger.counters)
@@ -167,7 +172,10 @@ class InteractiveWorkloadRunner:
                 if store_latch is not None:
                     yield Acquire(store_latch)
                 yield Acquire(cpu)
-                cost_us = execute(lambda: read_op.execute(connector))
+                cost_us = execute(
+                    lambda: read_op.execute(connector),
+                    who=f"reader-{reader_id}",
+                )
                 if cost_us is None:
                     result.read_failures += 1
                     cost_us = 1000.0  # failed request still burns time

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.cache import CacheStats, DependencyTrackingCache
+from repro.sanitizer import runtime
 from repro.simclock.ledger import charge
 from repro.stats import GraphStatistics
 from repro.storage.hashindex import HashIndex
@@ -133,6 +134,8 @@ class GraphStore:
         for (label, prop), index in self._indexes.items():
             if label in labels and props.get(prop) is not None:
                 index.insert(props[prop], node_id)
+        if runtime.TRACE is not None:
+            runtime.TRACE.write(("node", node_id))
         return node_id
 
     def create_rel(
@@ -159,6 +162,9 @@ class GraphStore:
         end_record.first_rel = rel_id
         self.rel_count += 1
         self._invalidate_neighborhoods((start, end))
+        if runtime.TRACE is not None:
+            runtime.TRACE.write(("node", start))
+            runtime.TRACE.write(("node", end))
         return rel_id
 
     def delete_node(self, node_id: int) -> None:
@@ -177,6 +183,8 @@ class GraphStore:
         for (label, prop), index in self._indexes.items():
             if label in record.labels and record.props.get(prop) is not None:
                 index.delete(record.props[prop], node_id)
+        if runtime.TRACE is not None:
+            runtime.TRACE.write(("node", node_id))
 
     def set_node_prop(self, node_id: int, key: str, value: Any) -> None:
         record = self._node(node_id)
@@ -189,6 +197,8 @@ class GraphStore:
                     index.delete(old, node_id)
                 if value is not None:
                     index.insert(value, node_id)
+        if runtime.TRACE is not None:
+            runtime.TRACE.write(("node", node_id))
 
     # -- read path ----------------------------------------------------------------
 

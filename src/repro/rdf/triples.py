@@ -5,6 +5,7 @@ from __future__ import annotations
 from collections.abc import Iterator
 from typing import Any
 
+from repro.sanitizer import runtime
 from repro.simclock.ledger import charge
 from repro.stats import TripleStatistics
 from repro.storage.btree import BPlusTree
@@ -63,6 +64,8 @@ class TripleStore:
         # indexes over one big table must be maintained"
         charge("page_write")
         self.triple_count += 1
+        if runtime.TRACE is not None:
+            runtime.TRACE.write(("rdf-subject", s))
         return True
 
     def remove(self, s: Term, p: Term, o: Term) -> bool:

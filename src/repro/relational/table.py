@@ -18,6 +18,7 @@ import json
 from collections.abc import Iterator, Mapping, Sequence
 from typing import Any
 
+from repro.sanitizer import runtime
 from repro.simclock.ledger import charge
 from repro.storage.btree import BPlusTree
 from repro.storage.buffer import BufferPool
@@ -153,6 +154,8 @@ class Table:
                 index.insert(value, handle)
         if self.wal is not None:
             self.wal.append(_wal_record("insert", self.name, list(row)))
+        if runtime.TRACE is not None:
+            runtime.TRACE.write((self.name, handle))
         return handle
 
     def update(self, handle: Any, changes: Mapping[str, Any]) -> Any:
@@ -183,6 +186,8 @@ class Table:
                     "update", self.name, [list(old_row), new_row]
                 )
             )
+        if runtime.TRACE is not None:
+            runtime.TRACE.write((self.name, handle))
         return new_handle
 
     def delete(self, handle: Any) -> None:
@@ -197,6 +202,8 @@ class Table:
                 index.delete(value, handle)
         if self.wal is not None:
             self.wal.append(_wal_record("delete", self.name, list(row)))
+        if runtime.TRACE is not None:
+            runtime.TRACE.write((self.name, handle))
 
     # -- read path ---------------------------------------------------------------
 

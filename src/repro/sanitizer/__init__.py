@@ -1,0 +1,22 @@
+"""Dynamic analysis: race detection + data-integrity audits.
+
+The dynamic-analysis sibling of :mod:`repro.analysis`.  The engines
+import only :mod:`repro.sanitizer.runtime` (a ``None``-guarded global
+hook — zero overhead when sanitizing is off); the heavier passes
+(:mod:`~repro.sanitizer.race`, :mod:`~repro.sanitizer.integrity`,
+:mod:`~repro.sanitizer.faults`, :mod:`~repro.sanitizer.harness`) are
+imported lazily by the CLI so instrumented engine modules never pull
+them in — that keeps the import graph acyclic (the integrity auditors
+import the engines).
+"""
+
+from repro.sanitizer.events import Event, VectorClock
+from repro.sanitizer.runtime import TraceCollector, tracing, worker
+
+__all__ = [
+    "Event",
+    "VectorClock",
+    "TraceCollector",
+    "tracing",
+    "worker",
+]

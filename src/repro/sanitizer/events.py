@@ -1,0 +1,94 @@
+"""Trace events and vector clocks for the dynamic sanitizer.
+
+The instrumented engines (see :mod:`repro.sanitizer.runtime`) emit a
+flat, ordered list of :class:`Event` records.  The race detector in
+:mod:`repro.sanitizer.race` replays that list, maintaining one
+:class:`VectorClock` per worker to decide whether two accesses are
+ordered (happens-before) or concurrent.
+
+Events are deliberately tiny and immutable: a run of the Figure 3
+harness at the test scale produces a few thousand of them, and the
+detector never mutates the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+#: event kinds, in the order they appear in a typical transaction
+KINDS = ("begin", "acquire", "write", "commit", "abort", "release")
+
+
+@dataclass(frozen=True)
+class Event:
+    """One instrumented action.
+
+    ``resource`` is the ``repr`` of the engine-level resource (a
+    ``(table, key)`` lock tuple, a ``("node", id)`` write target, ...)
+    so traces stay hashable and printable regardless of what the
+    engines lock.  ``mode`` is ``"S"``/``"X"`` for lock events and
+    ``""`` otherwise.
+    """
+
+    seq: int
+    kind: str
+    worker: str
+    txn_id: int
+    resource: str = ""
+    mode: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown event kind {self.kind!r}")
+
+
+class VectorClock:
+    """An immutable vector clock over worker names.
+
+    Zero components are normalised away, so two clocks are equal iff
+    their non-zero components are — this keeps ``tick``/``join`` cheap
+    and makes :meth:`__le__` a genuine partial order (reflexive,
+    antisymmetric, transitive; see the property test in
+    ``tests/test_sanitizer_race.py``).
+    """
+
+    __slots__ = ("_c",)
+
+    def __init__(self, components: Mapping[str, int] | None = None) -> None:
+        self._c: dict[str, int] = {
+            k: v for k, v in (components or {}).items() if v > 0
+        }
+
+    def tick(self, worker: str) -> VectorClock:
+        c = dict(self._c)
+        c[worker] = c.get(worker, 0) + 1
+        return VectorClock(c)
+
+    def join(self, other: VectorClock) -> VectorClock:
+        c = dict(self._c)
+        for k, v in other._c.items():
+            if v > c.get(k, 0):
+                c[k] = v
+        return VectorClock(c)
+
+    def __le__(self, other: VectorClock) -> bool:
+        return all(v <= other._c.get(k, 0) for k, v in self._c.items())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self._c == other._c
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._c.items()))
+
+    def concurrent(self, other: VectorClock) -> bool:
+        """Neither clock happens-before the other."""
+        return not (self <= other) and not (other <= self)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{k}={v}" for k, v in sorted(self._c.items())
+        )
+        return f"VC({inner})"

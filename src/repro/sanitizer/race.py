@@ -1,0 +1,227 @@
+"""Lockset + happens-before race detection over a recorded trace.
+
+The detector replays the event list produced by
+:class:`repro.sanitizer.runtime.TraceCollector` and reports:
+
+QA601
+    two *writes* to the same resource from different workers whose
+    vector clocks are concurrent and whose locksets are disjoint — the
+    Eraser candidate-lockset rule restricted to write/write pairs
+    (readers in this codebase take no locks by design and emit no
+    events, so read/write pairs are out of scope).
+QA602
+    a lock still held at end of trace: either the transaction
+    committed without releasing it (held across the commit boundary)
+    or it was simply never released.
+QA501 / QA502
+    re-emitted from the *runtime* acquisition order when it contradicts
+    the statically verified sorted order.  Both are gated on the
+    transaction's lock-holding interval overlapping another lock
+    holder's — a serial history cannot deadlock, so clean single-writer
+    runs stay silent no matter what order their locks arrive in.
+
+Happens-before edges come from the locks themselves: releasing a lock
+publishes the releasing worker's clock, and the next acquire of the
+same resource joins it into the acquiring worker's clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.diagnostics import Diagnostic, SourceLocation, make
+from repro.sanitizer.events import Event, VectorClock
+
+#: every runtime diagnostic points at the synthetic "runtime" dialect
+_LOC = "runtime"
+
+
+@dataclass
+class _TxnState:
+    worker: str = ""
+    held: dict[str, str] = field(default_factory=dict)  # resource -> mode
+    #: resources in first-grant order (for QA501/QA502)
+    grant_order: list[str] = field(default_factory=list)
+    first_grant_seq: int | None = None
+    last_release_seq: int | None = None
+    committed: bool = False
+    aborted: bool = False
+
+
+@dataclass(frozen=True)
+class _Access:
+    worker: str
+    txn_id: int
+    clock: VectorClock
+    lockset: frozenset[str]
+    seq: int
+
+
+def _loc(operation: str) -> SourceLocation:
+    return SourceLocation(_LOC, operation)
+
+
+def analyze_trace(events: list[Event]) -> list[Diagnostic]:
+    """Replay ``events`` and return every runtime diagnostic."""
+    clocks: dict[str, VectorClock] = {}
+    #: clock published by the latest release of each lock resource
+    release_clocks: dict[str, VectorClock] = {}
+    txns: dict[int, _TxnState] = {}
+    #: the txn each worker currently has open (storage-level write
+    #: events don't know their transaction; the worker does)
+    open_txn: dict[str, int] = {}
+    #: per written resource: the accesses seen so far
+    accesses: dict[str, list[_Access]] = {}
+    diagnostics: list[Diagnostic] = []
+    reported_601: set[tuple[str, frozenset[str]]] = set()
+    last_seq = events[-1].seq if events else 0
+
+    for ev in events:
+        clock = clocks.get(ev.worker, VectorClock()).tick(ev.worker)
+        txn = txns.setdefault(ev.txn_id, _TxnState(worker=ev.worker))
+        txn.worker = ev.worker
+
+        if ev.kind == "begin":
+            open_txn[ev.worker] = ev.txn_id
+        elif ev.kind in ("commit", "abort") and (
+            open_txn.get(ev.worker) == ev.txn_id
+        ):
+            del open_txn[ev.worker]
+
+        if ev.kind == "acquire":
+            if ev.resource in release_clocks:
+                clock = clock.join(release_clocks[ev.resource])
+            if ev.resource not in txn.held:
+                txn.held[ev.resource] = ev.mode
+                txn.grant_order.append(ev.resource)
+                if txn.first_grant_seq is None:
+                    txn.first_grant_seq = ev.seq
+        elif ev.kind == "release":
+            txn.held.pop(ev.resource, None)
+            release_clocks[ev.resource] = clock
+            txn.last_release_seq = ev.seq
+        elif ev.kind == "commit":
+            txn.committed = True
+        elif ev.kind == "abort":
+            txn.aborted = True
+        elif ev.kind == "write":
+            owner = txns.get(open_txn.get(ev.worker, ev.txn_id), txn)
+            lockset = frozenset(owner.held)
+            current = _Access(ev.worker, ev.txn_id, clock, lockset, ev.seq)
+            for prior in accesses.setdefault(ev.resource, []):
+                if prior.worker == ev.worker:
+                    continue
+                if prior.clock <= current.clock:
+                    continue  # ordered: release/acquire edge between them
+                if prior.lockset & current.lockset:
+                    continue  # a common lock serialises them
+                pair = frozenset((prior.worker, ev.worker))
+                key = (ev.resource, pair)
+                if key in reported_601:
+                    continue
+                reported_601.add(key)
+                diagnostics.append(
+                    make(
+                        "QA601",
+                        f"resource {ev.resource} written by "
+                        f"{prior.worker} (locks "
+                        f"{sorted(prior.lockset) or 'none'}) and "
+                        f"{ev.worker} (locks "
+                        f"{sorted(current.lockset) or 'none'}) with no "
+                        f"happens-before edge",
+                        _loc("race-detector"),
+                    )
+                )
+            accesses[ev.resource].append(current)
+
+        clocks[ev.worker] = clock
+
+    # -- QA602: locks still held at end of trace ----------------------
+    for txn_id, txn in sorted(txns.items()):
+        for resource in sorted(txn.held):
+            fate = (
+                "held across its commit boundary"
+                if txn.committed
+                else "never released"
+            )
+            diagnostics.append(
+                make(
+                    "QA602",
+                    f"txn {txn_id} ({txn.worker}): lock on {resource} "
+                    f"{fate}",
+                    _loc("race-detector"),
+                )
+            )
+
+    diagnostics.extend(_order_diagnostics(txns, last_seq))
+    return diagnostics
+
+
+def _interval(txn: _TxnState, last_seq: int) -> tuple[int, int] | None:
+    """The seq span during which ``txn`` held at least one lock."""
+    if txn.first_grant_seq is None:
+        return None
+    end = txn.last_release_seq
+    return (txn.first_grant_seq, last_seq if end is None else end)
+
+
+def _overlaps(a: tuple[int, int], b: tuple[int, int]) -> bool:
+    return a[0] <= b[1] and b[0] <= a[1]
+
+
+def _order_diagnostics(
+    txns: dict[int, _TxnState], last_seq: int
+) -> list[Diagnostic]:
+    """Runtime QA501 (opposite-order pairs) and QA502 (unsorted
+    acquisition), both gated on interval overlap."""
+    diagnostics: list[Diagnostic] = []
+    holders = [
+        (tid, txn, iv)
+        for tid, txn in sorted(txns.items())
+        if (iv := _interval(txn, last_seq)) is not None
+    ]
+    reported_501: set[frozenset[str]] = set()
+    flagged_502: set[int] = set()
+
+    for i, (tid1, txn1, iv1) in enumerate(holders):
+        for tid2, txn2, iv2 in holders[i + 1:]:
+            if not _overlaps(iv1, iv2):
+                continue
+            # QA501: the two txns acquire a shared resource pair in
+            # opposite orders while both hold locks concurrently.
+            pos1 = {r: k for k, r in enumerate(txn1.grant_order)}
+            pos2 = {r: k for k, r in enumerate(txn2.grant_order)}
+            shared = sorted(set(pos1) & set(pos2))
+            for a in range(len(shared)):
+                for b in range(a + 1, len(shared)):
+                    ra, rb = shared[a], shared[b]
+                    if (pos1[ra] < pos1[rb]) != (pos2[ra] < pos2[rb]):
+                        pair = frozenset((ra, rb))
+                        if pair in reported_501:
+                            continue
+                        reported_501.add(pair)
+                        diagnostics.append(
+                            make(
+                                "QA501",
+                                f"txns {tid1} and {tid2} acquired "
+                                f"{ra} and {rb} in opposite orders "
+                                f"while holding locks concurrently",
+                                _loc("lock-order"),
+                            )
+                        )
+            # QA502: unsorted acquisition inside an overlapping txn
+            for tid, txn in ((tid1, txn1), (tid2, txn2)):
+                if tid in flagged_502:
+                    continue
+                if txn.grant_order != sorted(txn.grant_order):
+                    flagged_502.add(tid)
+                    diagnostics.append(
+                        make(
+                            "QA502",
+                            f"txn {tid} ({txn.worker}) acquired locks "
+                            f"out of sorted order: "
+                            f"{txn.grant_order}",
+                            _loc("lock-order"),
+                        )
+                    )
+    return diagnostics

@@ -1,0 +1,98 @@
+"""The global trace hook the engines check on their hot paths.
+
+Instrumentation is OFF by default: :data:`TRACE` is ``None`` and every
+engine hook is a single ``if runtime.TRACE is not None`` test — no
+allocation, no call, no measurable overhead (the acceptance criterion
+is checked against ``benchmarks/bench_cache.py``).
+
+``repro sanitize`` installs a :class:`TraceCollector` for the duration
+of one harness run via the :func:`tracing` context manager; the driver
+tags each simulated worker thread with :func:`worker` so events carry
+the logical worker name even though the simulation is single-threaded.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from contextlib import contextmanager
+from typing import Any
+
+from repro.sanitizer.events import Event
+
+#: the active collector, or ``None`` when sanitizing is off
+TRACE: TraceCollector | None = None
+
+
+class TraceCollector:
+    """Accumulates :class:`Event` records for one instrumented run."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+        self._seq = 0
+        self.current_worker = "main"
+
+    def _emit(
+        self, kind: str, txn_id: int, resource: Any = "", mode: str = ""
+    ) -> None:
+        self.events.append(
+            Event(
+                seq=self._seq,
+                kind=kind,
+                worker=self.current_worker,
+                txn_id=txn_id,
+                resource=repr(resource) if resource != "" else "",
+                mode=mode,
+            )
+        )
+        self._seq += 1
+
+    # -- hooks called by the engines ----------------------------------
+
+    def txn_begin(self, txn_id: int) -> None:
+        self._emit("begin", txn_id)
+
+    def txn_commit(self, txn_id: int) -> None:
+        self._emit("commit", txn_id)
+
+    def txn_abort(self, txn_id: int) -> None:
+        self._emit("abort", txn_id)
+
+    def lock_acquired(self, txn_id: int, resource: Any, mode: str) -> None:
+        self._emit("acquire", txn_id, resource, mode)
+
+    def lock_released(self, txn_id: int, resource: Any) -> None:
+        self._emit("release", txn_id, resource)
+
+    def write(self, resource: Any, txn_id: int = -1) -> None:
+        """A storage-level mutation of ``resource`` (a ``(kind, key)``
+        tuple); ``txn_id`` is ``-1`` when no transaction is active."""
+        self._emit("write", txn_id, resource)
+
+
+@contextmanager
+def tracing() -> Iterator[TraceCollector]:
+    """Install a fresh collector as the global :data:`TRACE`."""
+    global TRACE
+    previous = TRACE
+    collector = TraceCollector()
+    TRACE = collector
+    try:
+        yield collector
+    finally:
+        TRACE = previous
+
+
+@contextmanager
+def worker(name: str) -> Iterator[None]:
+    """Tag events emitted in this scope with the logical worker
+    ``name``.  A no-op when sanitizing is off."""
+    collector = TRACE
+    if collector is None:
+        yield
+        return
+    previous = collector.current_worker
+    collector.current_worker = name
+    try:
+        yield
+    finally:
+        collector.current_worker = previous

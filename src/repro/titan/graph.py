@@ -20,6 +20,7 @@ import json
 from collections.abc import Iterator
 from typing import Any
 
+from repro.sanitizer import runtime
 from repro.simclock.ledger import charge
 from repro.storage.bdb import BDBStore
 from repro.storage.lsm import LSMTree
@@ -106,6 +107,8 @@ class TitanProvider(GraphProvider):
                     f"{_pad(vid)}",
                     b"",
                 )
+        if runtime.TRACE is not None:
+            runtime.TRACE.write(("titan-vertex", vid))
         return vid
 
     def create_edge(
@@ -120,6 +123,9 @@ class TitanProvider(GraphProvider):
         self._put(
             f"e:{_pad(in_vid)}:{label}:i:{_pad(out_vid)}:{_pad(eid)}", payload
         )
+        if runtime.TRACE is not None:
+            runtime.TRACE.write(("titan-adj", out_vid))
+            runtime.TRACE.write(("titan-adj", in_vid))
         return (eid, label, out_vid, in_vid)
 
     def set_vertex_prop(self, vid: Any, key: str, value: Any) -> None:
@@ -130,6 +136,8 @@ class TitanProvider(GraphProvider):
         record["props"][key] = value
         self._vertex_cache.pop(vid, None)
         self._put(f"v:{_pad(vid)}", json.dumps(record).encode())
+        if runtime.TRACE is not None:
+            runtime.TRACE.write(("titan-vertex", vid))
 
     # -- SPI: reads ---------------------------------------------------------------------
 

@@ -7,6 +7,7 @@ from collections import defaultdict
 from collections.abc import Iterable
 from typing import Hashable
 
+from repro.sanitizer import runtime
 from repro.simclock.ledger import charge
 
 
@@ -81,6 +82,8 @@ class LockManager:
             raise LockConflict(resource, others)
         state.holders[txn_id] = mode
         self._held_by_txn[txn_id].add(resource)
+        if runtime.TRACE is not None:
+            runtime.TRACE.lock_acquired(txn_id, resource, mode.value)
 
     def acquire_many(
         self, txn_id: int, resources: Iterable[Hashable], mode: LockMode
@@ -117,6 +120,8 @@ class LockManager:
                 state.holders.pop(txn_id, None)
                 if not state.holders:
                     del self._locks[resource]
+            if runtime.TRACE is not None:
+                runtime.TRACE.lock_released(txn_id, resource)
         self._waits_for.pop(txn_id, None)
         for waiters in self._waits_for.values():
             waiters.discard(txn_id)

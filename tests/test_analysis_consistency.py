@@ -1,7 +1,11 @@
 """Cross-dialect consistency: the four catalogs answer one workload."""
 
-from repro.analysis import check_consistency
-from repro.analysis.consistency import READ_OPERATIONS
+from repro.analysis import check_consistency, check_insert_consistency
+from repro.analysis.consistency import (
+    DECLARED_INSERT_DELTAS,
+    INSERT_OPERATIONS,
+    READ_OPERATIONS,
+)
 from repro.analysis.linter import analyze_catalog, connector_catalogs
 
 
@@ -49,3 +53,51 @@ class TestMutations:
         assert [d.code for d in diagnostics] == ["QA401"]
         assert "cypher" in diagnostics[0].message
         assert "likes" in diagnostics[0].message
+
+
+class TestInsertFootprints:
+    def test_builtin_deltas_are_exactly_the_declared_ones(self):
+        diagnostics = check_insert_consistency(built_in_results())
+        assert diagnostics == [], [str(d) for d in diagnostics]
+
+    def test_every_insert_operation_is_present_everywhere(self):
+        per_dialect = built_in_results()
+        for dialect, results in per_dialect.items():
+            for operation in INSERT_OPERATIONS:
+                assert operation in results, (dialect, operation)
+
+    def test_missing_insert_operation_is_qa402(self):
+        per_dialect = built_in_results()
+        del per_dialect["gremlin"]["add_like"]
+        diagnostics = check_insert_consistency(per_dialect)
+        assert [d.code for d in diagnostics] == ["QA402"]
+        assert "gremlin" in diagnostics[0].message
+        assert "add_like" in str(diagnostics[0].location)
+
+    def test_undeclared_surplus_is_qa403(self, monkeypatch):
+        # forget the sparql add_person delta: the footprint is still
+        # what it always was, but now nobody vouches for it
+        trimmed = {
+            key: value
+            for key, value in DECLARED_INSERT_DELTAS.items()
+            if key != ("sparql", "add_person")
+        }
+        monkeypatch.setattr(
+            "repro.analysis.consistency.DECLARED_INSERT_DELTAS", trimmed
+        )
+        diagnostics = check_insert_consistency(built_in_results())
+        assert [d.code for d in diagnostics] == ["QA403"]
+        assert "undeclared surplus" in diagnostics[0].message
+        assert "studyAt" in diagnostics[0].message
+
+    def test_unmaterialised_declaration_is_qa403(self, monkeypatch):
+        # declare a delta no catalog produces
+        padded = dict(DECLARED_INSERT_DELTAS)
+        padded[("cypher", "add_forum")] = frozenset({"tag"})
+        monkeypatch.setattr(
+            "repro.analysis.consistency.DECLARED_INSERT_DELTAS", padded
+        )
+        diagnostics = check_insert_consistency(built_in_results())
+        assert [d.code for d in diagnostics] == ["QA403"]
+        assert "declared delta not present" in diagnostics[0].message
+        assert "tag" in diagnostics[0].message

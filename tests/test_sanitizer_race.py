@@ -1,0 +1,181 @@
+"""Unit and property tests for the trace-replay race detector.
+
+The property tests pin down the algebra the happens-before reasoning
+rests on: ``VectorClock.__le__`` must be a genuine partial order, or
+"neither clock precedes the other" stops meaning "concurrent".
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sanitizer.events import Event, VectorClock
+from repro.sanitizer.race import analyze_trace
+
+workers = st.sampled_from(["w1", "w2", "w3", "w4"])
+clocks = st.dictionaries(
+    workers, st.integers(min_value=0, max_value=5), max_size=4
+).map(VectorClock)
+
+
+class TestVectorClockPartialOrder:
+    @given(clocks)
+    def test_reflexive(self, a):
+        assert a <= a
+
+    @given(clocks, clocks)
+    def test_antisymmetric(self, a, b):
+        if a <= b and b <= a:
+            assert a == b
+
+    @given(clocks, clocks, clocks)
+    def test_transitive(self, a, b, c):
+        if a <= b and b <= c:
+            assert a <= c
+
+    @given(clocks, workers)
+    def test_tick_strictly_advances(self, a, w):
+        ticked = a.tick(w)
+        assert a <= ticked
+        assert ticked != a
+        assert not ticked <= a
+
+    @given(clocks, clocks)
+    def test_join_is_an_upper_bound(self, a, b):
+        joined = a.join(b)
+        assert a <= joined
+        assert b <= joined
+
+    @given(clocks, clocks)
+    def test_concurrent_is_symmetric_and_irreflexive(self, a, b):
+        assert a.concurrent(b) == b.concurrent(a)
+        assert not a.concurrent(a)
+
+
+def _events(*specs):
+    """Build a trace from (kind, worker, txn_id[, resource[, mode]])."""
+    out = []
+    for seq, spec in enumerate(specs):
+        kind, worker, txn_id, *rest = spec
+        resource = rest[0] if rest else ""
+        mode = rest[1] if len(rest) > 1 else ""
+        out.append(Event(seq, kind, worker, txn_id, resource, mode))
+    return out
+
+
+class TestAnalyzeTrace:
+    def test_empty_trace_is_silent(self):
+        assert analyze_trace([]) == []
+
+    def test_unlocked_concurrent_writes_are_qa601(self):
+        trace = _events(
+            ("begin", "w1", 1),
+            ("write", "w1", 1, "('person', 7)"),
+            ("commit", "w1", 1),
+            ("begin", "w2", 2),
+            ("write", "w2", 2, "('person', 7)"),
+            ("commit", "w2", 2),
+        )
+        codes = [d.code for d in analyze_trace(trace)]
+        assert codes == ["QA601"]
+
+    def test_qa601_deduped_per_resource_and_worker_pair(self):
+        trace = _events(
+            ("write", "w1", 1, "('person', 7)"),
+            ("write", "w2", 2, "('person', 7)"),
+            ("write", "w1", 1, "('person', 7)"),
+            ("write", "w2", 2, "('person', 7)"),
+        )
+        codes = [d.code for d in analyze_trace(trace)]
+        assert codes == ["QA601"]
+
+    def test_release_acquire_edge_orders_the_writes(self):
+        # w2 acquires the lock w1 released: the published clock makes
+        # w1's write happen-before w2's, so no race
+        trace = _events(
+            ("begin", "w1", 1),
+            ("acquire", "w1", 1, "('person', 7)", "X"),
+            ("write", "w1", 1, "('person', 7)"),
+            ("commit", "w1", 1),
+            ("release", "w1", 1, "('person', 7)"),
+            ("begin", "w2", 2),
+            ("acquire", "w2", 2, "('person', 7)", "X"),
+            ("write", "w2", 2, "('person', 7)"),
+            ("commit", "w2", 2),
+            ("release", "w2", 2, "('person', 7)"),
+        )
+        assert analyze_trace(trace) == []
+
+    def test_common_lock_serialises_concurrent_writes(self):
+        trace = _events(
+            ("begin", "w1", 1),
+            ("acquire", "w1", 1, "('person', 7)", "X"),
+            ("write", "w1", 1, "('person', 7)"),
+            ("begin", "w2", 2),
+            ("acquire", "w2", 2, "('person', 7)", "X"),
+            ("write", "w2", 2, "('person', 7)"),
+        )
+        codes = [d.code for d in analyze_trace(trace)]
+        assert "QA601" not in codes
+
+    def test_same_worker_never_races_with_itself(self):
+        trace = _events(
+            ("write", "w1", 1, "('person', 7)"),
+            ("write", "w1", 2, "('person', 7)"),
+        )
+        assert analyze_trace(trace) == []
+
+    def test_lock_held_across_commit_is_qa602(self):
+        trace = _events(
+            ("begin", "w1", 1),
+            ("acquire", "w1", 1, "('person', 7)", "X"),
+            ("commit", "w1", 1),
+        )
+        diagnostics = analyze_trace(trace)
+        assert [d.code for d in diagnostics] == ["QA602"]
+        assert "commit boundary" in diagnostics[0].message
+
+    def test_never_released_lock_is_qa602(self):
+        trace = _events(
+            ("begin", "w1", 1),
+            ("acquire", "w1", 1, "('person', 7)", "X"),
+        )
+        diagnostics = analyze_trace(trace)
+        assert [d.code for d in diagnostics] == ["QA602"]
+        assert "never released" in diagnostics[0].message
+
+    def test_opposite_order_overlapping_txns_are_qa501_qa502(self):
+        trace = _events(
+            ("begin", "w1", 1),
+            ("acquire", "w1", 1, "('a', 1)", "S"),
+            ("begin", "w2", 2),
+            ("acquire", "w2", 2, "('b', 2)", "S"),
+            ("acquire", "w1", 1, "('b', 2)", "S"),
+            ("acquire", "w2", 2, "('a', 1)", "S"),
+            ("abort", "w1", 1),
+            ("release", "w1", 1, "('a', 1)"),
+            ("release", "w1", 1, "('b', 2)"),
+            ("abort", "w2", 2),
+            ("release", "w2", 2, "('b', 2)"),
+            ("release", "w2", 2, "('a', 1)"),
+        )
+        codes = sorted({d.code for d in analyze_trace(trace)})
+        assert codes == ["QA501", "QA502"]
+
+    def test_serial_unsorted_acquisition_stays_silent(self):
+        # same opposite orders, but the txns never overlap: a serial
+        # history cannot deadlock, so the order gate must not fire
+        trace = _events(
+            ("begin", "w1", 1),
+            ("acquire", "w1", 1, "('b', 2)", "S"),
+            ("acquire", "w1", 1, "('a', 1)", "S"),
+            ("abort", "w1", 1),
+            ("release", "w1", 1, "('b', 2)"),
+            ("release", "w1", 1, "('a', 1)"),
+            ("begin", "w2", 2),
+            ("acquire", "w2", 2, "('a', 1)", "S"),
+            ("acquire", "w2", 2, "('b', 2)", "S"),
+            ("abort", "w2", 2),
+            ("release", "w2", 2, "('a', 1)"),
+            ("release", "w2", 2, "('b', 2)"),
+        )
+        assert analyze_trace(trace) == []
