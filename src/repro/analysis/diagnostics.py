@@ -29,12 +29,25 @@ QA701    dangling edge / foreign-key endpoint
 QA702    index entry disagrees with the heap / store row
 QA703    cache entry whose dependency set no longer matches truth
 QA704    WAL / group-commit replay divergence
+QA801    static lock-order inversion (per-function acquisition
+         sequences composed across the call graph)
+QA802    lock/transaction acquired with no dominating release on the
+         exception path (try/finally or context manager)
+QA803    blocking I/O (WAL fsync, Gremlin submit) reachable while a
+         lock is held
+QA804    storage-mutation function that emits no sanitizer trace event
+         (and is not baselined as a sub-record primitive)
+QA805    cache-writing code path with no matching epoch/dependency
+         invalidation registration anywhere in its class
 =======  ==============================================================
 
 QA1xx-QA5xx are *static* passes over the query catalogs
 (:mod:`repro.analysis`); QA5xx are additionally re-emitted at runtime
 and QA6xx/QA7xx are produced only by the dynamic sanitizer
-(:mod:`repro.sanitizer`), which observes real executions.
+(:mod:`repro.sanitizer`), which observes real executions.  QA8xx are
+*whole-program* static passes over the engine source itself
+(:mod:`repro.analysis.program`): they prove on every path what the
+sanitizer can only sample on traced histories.
 """
 
 from __future__ import annotations
@@ -74,6 +87,11 @@ CODES: dict[str, tuple[str, Severity]] = {
     "QA702": ("index-store-mismatch", Severity.ERROR),
     "QA703": ("stale-cache-dependency", Severity.ERROR),
     "QA704": ("wal-replay-divergence", Severity.ERROR),
+    "QA801": ("static-lock-order-inversion", Severity.ERROR),
+    "QA802": ("leaked-resource-on-exception", Severity.ERROR),
+    "QA803": ("blocking-io-under-lock", Severity.ERROR),
+    "QA804": ("untraced-storage-mutation", Severity.ERROR),
+    "QA805": ("cache-write-without-invalidation", Severity.ERROR),
 }
 
 

@@ -1,0 +1,95 @@
+"""Whole-program concurrency & resource-safety analysis (QA8xx).
+
+The dynamic sanitizer (:mod:`repro.sanitizer`) proves properties of the
+histories it happens to trace; this package proves the same discipline
+*statically*, on every path, by composing per-function summaries over
+a module-level call graph:
+
+* :mod:`~repro.analysis.program.callgraph` — sources, functions, and
+  conservative name-based call resolution.
+* :mod:`~repro.analysis.program.summaries` — per-function facts: lock
+  acquisition sequences, release discipline, blocking-I/O sites, trace
+  emission, and cache writes/invalidations.
+* :mod:`~repro.analysis.program.passes` — the QA801–QA805 passes.
+* :mod:`~repro.analysis.program.baseline` — the committed suppression
+  file that keeps `repro lint --program` green on the current tree.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.program.baseline import (
+    DEFAULT_BASELINE_PATH,
+    BaselineEntry,
+    apply_baseline,
+    load_baseline,
+)
+from repro.analysis.program.callgraph import (
+    SCOPE_PACKAGES,
+    build_call_graph,
+    default_sources,
+    sources_from_paths,
+)
+from repro.analysis.program.passes import (
+    PASS_NAMES,
+    Program,
+    run_passes,
+)
+from repro.analysis.program.summaries import summarize
+
+__all__ = [
+    "DEFAULT_BASELINE_PATH",
+    "PASS_NAMES",
+    "SCOPE_PACKAGES",
+    "BaselineEntry",
+    "Program",
+    "analyze_program",
+    "analyze_program_sources",
+    "apply_baseline",
+    "load_baseline",
+]
+
+
+def build_program(sources: Mapping[str, str]) -> Program:
+    """Parse + summarize a source mapping into a pass-ready Program."""
+    graph, failures = build_call_graph(sources)
+    if failures:
+        module, error = failures[0]
+        raise SyntaxError(f"cannot parse {module}: {error}")
+    return Program(graph, summarize(graph))
+
+
+def analyze_program_sources(
+    sources: Mapping[str, str],
+    passes: Iterable[str] | None = None,
+) -> list[Diagnostic]:
+    """Run the QA8xx passes over an explicit source mapping (tests)."""
+    selected = None if passes is None else set(passes)
+    return run_passes(build_program(sources), selected)
+
+
+def analyze_program(
+    paths: Iterable[str | Path] | None = None,
+    baseline: str | Path | None = DEFAULT_BASELINE_PATH,
+    passes: Iterable[str] | None = None,
+) -> list[Diagnostic]:
+    """Run the analyzer over the engine tree (or explicit ``paths``).
+
+    Diagnostics matching the baseline file are suppressed; pass
+    ``baseline=None`` to see everything.
+    """
+    sources = (
+        default_sources()
+        if paths is None
+        else sources_from_paths(paths)
+    )
+    diagnostics = analyze_program_sources(sources, passes)
+    if baseline is not None:
+        entries = load_baseline(baseline)
+        diagnostics, _suppressed, _stale = apply_baseline(
+            diagnostics, entries
+        )
+    return diagnostics

@@ -248,12 +248,30 @@ def cmd_lint(args: argparse.Namespace) -> int:
     with ``--strict``, any diagnostic at all), so CI can gate on it.
     With ``--format json`` each diagnostic is one JSON object per line
     (machine-readable; the summary line is suppressed).
+
+    ``--program`` switches from the query-catalog passes to the
+    whole-program QA8xx passes over the engine source itself; findings
+    matching the committed baseline file are suppressed, so the gate
+    fails only on *new* diagnostics.
     """
     import json
 
     from repro.analysis import Severity, lint_all
 
-    diagnostics = lint_all()
+    if args.program:
+        from repro.analysis.program import (
+            DEFAULT_BASELINE_PATH,
+            analyze_program,
+        )
+
+        baseline = args.baseline or DEFAULT_BASELINE_PATH
+        diagnostics = analyze_program(
+            paths=args.paths or None, baseline=baseline
+        )
+        scope = "whole-program passes"
+    else:
+        diagnostics = lint_all()
+        scope = "4 dialect catalogs"
     if args.format == "json":
         for diagnostic in diagnostics:
             print(json.dumps(diagnostic.to_dict(), sort_keys=True))
@@ -267,7 +285,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
     if args.format != "json":
         print(
             f"lint: {error_count} error(s), {warning_count} warning(s) "
-            f"across 4 dialect catalogs"
+            f"across {scope}"
         )
     if error_count or (args.strict and diagnostics):
         return 1
@@ -405,6 +423,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--format", choices=["text", "json"], default="text",
         help="json prints one diagnostic object per line",
+    )
+    p.add_argument(
+        "--program", action="store_true",
+        help="run the whole-program QA8xx passes over the engine "
+             "source instead of the query-catalog passes",
+    )
+    p.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="suppression file for --program (default: the committed "
+             "clean baseline)",
+    )
+    p.add_argument(
+        "--paths", nargs="+", default=None, metavar="FILE",
+        help="analyze these files instead of the engine tree "
+             "(--program only; used by the analyzer's own tests)",
     )
     p.set_defaults(fn=cmd_lint)
 

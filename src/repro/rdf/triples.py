@@ -78,7 +78,11 @@ class TripleStore:
         self._spo.delete((s_id, p_id, o_id))
         self._pos.delete((p_id, o_id, s_id))
         self._osp.delete((o_id, s_id, p_id))
+        # removal maintains the same three covering indexes as add
+        charge("page_write")
         self.triple_count -= 1
+        if runtime.TRACE is not None:
+            runtime.TRACE.write(("rdf-subject", s))
         return True
 
     def _exists(self, s_id: int, p_id: int, o_id: int) -> bool:

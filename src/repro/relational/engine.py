@@ -221,10 +221,17 @@ class Database:
             else None
         )
         auto = self._dml_boundary(table, pk)
-        handle = table.insert(values)
-        txn = auto or self._active_txn
-        if txn is not None:
-            txn.on_abort(lambda: table.delete(handle))
+        try:
+            handle = table.insert(values)
+            txn = auto or self._active_txn
+            if txn is not None:
+                txn.on_abort(lambda: table.delete(handle))
+        except BaseException:
+            # an autocommit txn has no enclosing transaction() manager
+            # to release its row lock; abort here or leak it
+            if auto is not None:
+                auto.abort()
+            raise
         if auto is not None:
             auto.commit()
         return 1
@@ -243,13 +250,19 @@ class Database:
                 col: fn(row, tuple(params)) for col, fn in assign_fns
             }
             auto = self._dml_boundary(table, handle)
-            old = {c: row[table.column_position(c)] for c in changes}
-            new_handle = table.update(handle, changes)
-            txn = auto or self._active_txn
-            if txn is not None:
-                txn.on_abort(
-                    lambda t=table, h=new_handle, o=dict(old): t.update(h, o)
-                )
+            try:
+                old = {c: row[table.column_position(c)] for c in changes}
+                new_handle = table.update(handle, changes)
+                txn = auto or self._active_txn
+                if txn is not None:
+                    txn.on_abort(
+                        lambda t=table, h=new_handle, o=dict(old):
+                            t.update(h, o)
+                    )
+            except BaseException:
+                if auto is not None:
+                    auto.abort()
+                raise
             if auto is not None:
                 auto.commit()
             affected += 1
@@ -262,10 +275,15 @@ class Database:
         affected = 0
         for handle, row in matches:
             auto = self._dml_boundary(table, handle)
-            table.delete(handle)
-            txn = auto or self._active_txn
-            if txn is not None:
-                txn.on_abort(lambda t=table, r=row: t.insert(r))
+            try:
+                table.delete(handle)
+                txn = auto or self._active_txn
+                if txn is not None:
+                    txn.on_abort(lambda t=table, r=row: t.insert(r))
+            except BaseException:
+                if auto is not None:
+                    auto.abort()
+                raise
             if auto is not None:
                 auto.commit()
             affected += 1

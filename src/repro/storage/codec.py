@@ -17,6 +17,12 @@ _I64 = struct.Struct("<q")
 _F64 = struct.Struct("<d")
 _U32 = struct.Struct("<I")
 
+#: one column value: the four scalar wire types, or SQL NULL
+Value = int | float | str | bool | None
+
+#: one stored row: a fixed-width tuple of column values
+Row = tuple[Value, ...]
+
 
 class ColumnType(enum.Enum):
     """Supported column types (a pragmatic subset of SQL types)."""
@@ -48,7 +54,7 @@ class RowCodec:
             raise ValueError("a row needs at least one column")
         self.types = tuple(types)
 
-    def encode(self, row: Sequence[object]) -> bytes:
+    def encode(self, row: Sequence[Value]) -> bytes:
         if len(row) != len(self.types):
             raise ValueError(
                 f"row has {len(row)} values, schema has {len(self.types)}"
@@ -72,9 +78,9 @@ class RowCodec:
                 parts.append(payload)
         return b"".join(parts)
 
-    def decode(self, data: bytes) -> tuple:
+    def decode(self, data: bytes) -> Row:
         charge("value_cpu", len(self.types))
-        values: list[object] = []
+        values: list[Value] = []
         pos = 0
         for ctype in self.types:
             present = data[pos]

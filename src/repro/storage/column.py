@@ -12,10 +12,9 @@ with frequent updates".
 from __future__ import annotations
 
 from collections.abc import Iterator, Mapping, Sequence
-from typing import Any
 
 from repro.simclock.ledger import charge
-from repro.storage.codec import ColumnType
+from repro.storage.codec import ColumnType, Row, Value
 
 
 class _Column:
@@ -26,11 +25,11 @@ class _Column:
     def __init__(self, name: str, ctype: ColumnType) -> None:
         self.name = name
         self.ctype = ctype
-        self.data: list[Any] = []  # raw values, or dict codes for TEXT
+        self.data: list[Value] = []  # raw values, or dict codes for TEXT
         self.dictionary: dict[str, int] = {} if ctype is ColumnType.TEXT else {}
         self.codes: list[str] = []  # code -> string
 
-    def append(self, value: Any) -> None:
+    def append(self, value: Value) -> None:
         self.ctype.validate(value)
         charge("column_append")
         if self.ctype is ColumnType.TEXT and value is not None:
@@ -43,14 +42,14 @@ class _Column:
         else:
             self.data.append(value)
 
-    def get(self, pos: int) -> Any:
+    def get(self, pos: int) -> Value:
         charge("column_value")
         raw = self.data[pos]
         if self.ctype is ColumnType.TEXT and raw is not None:
             return self.codes[raw]
         return raw
 
-    def set(self, pos: int, value: Any) -> None:
+    def set(self, pos: int, value: Value) -> None:
         self.ctype.validate(value)
         charge("column_update")
         if self.ctype is ColumnType.TEXT and value is not None:
@@ -99,7 +98,7 @@ class ColumnTable:
 
     # -- write path --------------------------------------------------------------
 
-    def append(self, row: Sequence[Any]) -> int:
+    def append(self, row: Sequence[Value]) -> int:
         """Append a row; returns its position."""
         if len(row) != len(self.column_names):
             raise ValueError(
@@ -112,7 +111,7 @@ class ColumnTable:
         self.row_count += 1
         return pos
 
-    def update(self, pos: int, changes: Mapping[str, Any]) -> None:
+    def update(self, pos: int, changes: Mapping[str, Value]) -> None:
         self._check_live(pos)
         for name, value in changes.items():
             self._columns[name].set(pos, value)
@@ -128,7 +127,7 @@ class ColumnTable:
     def is_live(self, pos: int) -> bool:
         return 0 <= pos < self.total_positions and pos not in self._deleted
 
-    def read_row(self, pos: int) -> tuple:
+    def read_row(self, pos: int) -> Row:
         """Materialize a full row: one positional seek per column."""
         self._check_live(pos)
         values = []
@@ -137,7 +136,7 @@ class ColumnTable:
             values.append(self._columns[name].get(pos))
         return tuple(values)
 
-    def read_values(self, pos: int, columns: Sequence[str]) -> tuple:
+    def read_values(self, pos: int, columns: Sequence[str]) -> Row:
         """Materialize a projection of a row."""
         self._check_live(pos)
         values = []
@@ -148,14 +147,14 @@ class ColumnTable:
 
     def read_batch(
         self, positions: Sequence[int], columns: Sequence[str]
-    ) -> list[tuple]:
+    ) -> list[Row]:
         """Vectorized projection fetch: one seek per column for the whole
         batch, then sequential per-value access — the columnar execution
         model that amortizes positional access over many rows."""
         cols = [self._column(n) for n in columns]
         for pos in positions:
             self._check_live(pos)
-        out: list[list] = [[] for _ in positions]
+        out: list[list[Value]] = [[] for _ in positions]
         for col in cols:
             charge("column_seek")
             charge("column_value", len(positions))
@@ -168,7 +167,7 @@ class ColumnTable:
 
     def scan(
         self, columns: Sequence[str] | None = None
-    ) -> Iterator[tuple[int, tuple]]:
+    ) -> Iterator[tuple[int, Row]]:
         """Sequential scan over live positions, projecting ``columns``."""
         names = list(columns) if columns is not None else self.column_names
         cols = [self._column(n) for n in names]
@@ -179,7 +178,7 @@ class ColumnTable:
                 continue
             yield pos, tuple(col.get(pos) for col in cols)
 
-    def column_values(self, name: str) -> Iterator[tuple[int, Any]]:
+    def column_values(self, name: str) -> Iterator[tuple[int, Value]]:
         """Scan one column only (the column-store sweet spot)."""
         col = self._column(name)
         charge("column_seek")

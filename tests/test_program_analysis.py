@@ -1,0 +1,449 @@
+"""The whole-program analyzer: seeded violations, clean run, schema.
+
+Three layers, per the analyzer's contract:
+
+* each QA801-QA805 pass catches its seeded-violation fixture and stays
+  silent on the repaired twin of the same code;
+* the real engine tree is clean under the committed baseline, and the
+  baseline carries no stale entries;
+* the ``--format json`` schema and the CLI gate (exit 1 on any
+  non-baselined finding) are pinned.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.lockorder import analyze_lock_order_sources
+from repro.analysis.program import (
+    DEFAULT_BASELINE_PATH,
+    analyze_program,
+    analyze_program_sources,
+    apply_baseline,
+    load_baseline,
+)
+from repro.cli import main
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+# -- QA801: composed lock-order inversion --------------------------------
+
+QA801_BAD = '''
+class Service:
+    def path_one(self, locks, txn_id):
+        locks.acquire(txn_id, "res_a", "X")
+        self.helper_b(locks, txn_id)
+
+    def helper_b(self, locks, txn_id):
+        locks.acquire(txn_id, "res_b", "X")
+
+    def path_two(self, locks, txn_id):
+        locks.acquire(txn_id, "res_b", "X")
+        self.helper_a(locks, txn_id)
+
+    def helper_a(self, locks, txn_id):
+        locks.acquire(txn_id, "res_a", "X")
+'''
+
+QA801_OK = QA801_BAD.replace(
+    'def path_two(self, locks, txn_id):\n        '
+    'locks.acquire(txn_id, "res_b", "X")\n        '
+    'self.helper_a(locks, txn_id)',
+    'def path_two(self, locks, txn_id):\n        '
+    'locks.acquire(txn_id, "res_a", "X")\n        '
+    'self.helper_b(locks, txn_id)',
+)
+
+
+class TestLockOrderPass:
+    def test_seeded_inversion_across_calls(self):
+        diags = analyze_program_sources(
+            {"fixture.py": QA801_BAD}, passes={"QA801"}
+        )
+        assert codes(diags) == ["QA801"]
+        assert "res_a" in diags[0].message
+        assert "res_b" in diags[0].message
+
+    def test_consistent_order_is_silent(self):
+        assert (
+            analyze_program_sources(
+                {"fixture.py": QA801_OK}, passes={"QA801"}
+            )
+            == []
+        )
+
+    def test_intra_function_pass_cannot_see_it(self):
+        # the seeded inversion spans a call: each function acquires one
+        # lock, so the per-function QA501 pass has nothing to order —
+        # only the composed summaries close the cycle
+        assert analyze_lock_order_sources({"fixture.py": QA801_BAD}) == []
+
+
+# -- QA802: release discipline -------------------------------------------
+
+QA802_BAD = '''
+def risky(manager, table, key, values):
+    txn = manager.begin()
+    manager.locks.acquire(txn.txn_id, (table, key), "X")
+    table.insert(values)
+    txn.commit()
+'''
+
+QA802_OK = '''
+def careful(manager, table, key, values):
+    txn = manager.begin()
+    manager.locks.acquire(txn.txn_id, (table, key), "X")
+    try:
+        table.insert(values)
+    except BaseException:
+        txn.abort()
+        raise
+    txn.commit()
+'''
+
+QA802_WITH = '''
+class Engine:
+    def managed(self, values):
+        with self.transaction() as txn:
+            self.locks.acquire(txn.txn_id, "row", "X")
+            self.apply(values)
+'''
+
+QA802_TRANSFER = '''
+class Engine:
+    def boundary(self, key):
+        txn = self.txns.begin()
+        self.txns.locks.acquire(txn.txn_id, key, "X")
+        return txn
+
+    def caller_without_discipline(self, key, values):
+        txn = self.boundary(key)
+        self.apply(values)
+        txn.commit()
+'''
+
+
+class TestReleaseDisciplinePass:
+    def test_exception_path_leaks_the_lock(self):
+        diags = analyze_program_sources(
+            {"fixture.py": QA802_BAD}, passes={"QA802"}
+        )
+        assert codes(diags) == ["QA802"]
+
+    def test_abort_in_handler_is_enough(self):
+        assert (
+            analyze_program_sources(
+                {"fixture.py": QA802_OK}, passes={"QA802"}
+            )
+            == []
+        )
+
+    def test_releasing_context_manager_is_enough(self):
+        assert (
+            analyze_program_sources(
+                {"fixture.py": QA802_WITH}, passes={"QA802"}
+            )
+            == []
+        )
+
+    def test_ownership_transfer_moves_the_obligation(self):
+        # boundary() returns the txn it began: the *caller* must hold
+        # the release discipline, and this caller does not
+        diags = analyze_program_sources(
+            {"fixture.py": QA802_TRANSFER}, passes={"QA802"}
+        )
+        assert codes(diags) == ["QA802"]
+        assert "caller_without_discipline" in diags[0].location.operation
+
+
+# -- QA803: blocking I/O under a lock ------------------------------------
+
+QA803_BAD = '''
+class Engine:
+    def flush_with_lock(self, txn_id):
+        self.locks.acquire(txn_id, "row", "X")
+        self.wal.commit()
+        self.locks.release_all(txn_id)
+'''
+
+QA803_INDIRECT = '''
+class Remote:
+    def locked_submit(self, txn_id, script):
+        self.locks.acquire(txn_id, "row", "X")
+        self.forward(script)
+        self.locks.release_all(txn_id)
+
+    def forward(self, script):
+        return self.server.submit(script)
+'''
+
+QA803_OK = '''
+class Engine:
+    def flush_after_release(self, txn_id):
+        self.locks.acquire(txn_id, "row", "X")
+        self.locks.release_all(txn_id)
+        self.wal.commit()
+'''
+
+
+class TestBlockingIoPass:
+    def test_direct_fsync_under_lock(self):
+        diags = analyze_program_sources(
+            {"fixture.py": QA803_BAD}, passes={"QA803"}
+        )
+        assert codes(diags) == ["QA803"]
+        assert "wal-fsync" in diags[0].message
+
+    def test_submit_reached_through_a_helper(self):
+        diags = analyze_program_sources(
+            {"fixture.py": QA803_INDIRECT}, passes={"QA803"}
+        )
+        assert codes(diags) == ["QA803"]
+        assert "gremlin-submit" in diags[0].message
+        assert "forward" in diags[0].message  # the witness path
+
+    def test_io_after_release_is_fine(self):
+        assert (
+            analyze_program_sources(
+                {"fixture.py": QA803_OK}, passes={"QA803"}
+            )
+            == []
+        )
+
+
+# -- QA804: sanitizer trace coverage -------------------------------------
+
+QA804_BAD = '''
+class Store:
+    def create(self, key, value):
+        charge("record_write")
+        self._rows[key] = value
+        if runtime.TRACE is not None:
+            runtime.TRACE.write(("row", key))
+
+    def wipe(self, key):
+        self._rows.pop(key)
+'''
+
+QA804_FREE = '''
+def flush_page(buffer):
+    charge("page_write")
+    buffer.sync()
+'''
+
+QA804_OK = '''
+class Store:
+    def create(self, key, value):
+        charge("record_write")
+        self._rows[key] = value
+        if runtime.TRACE is not None:
+            runtime.TRACE.write(("row", key))
+
+    def wipe(self, key):
+        self._rows.pop(key)
+        if runtime.TRACE is not None:
+            runtime.TRACE.write(("row", key))
+'''
+
+
+class TestTraceCoveragePass:
+    def test_untraced_sibling_mutation(self):
+        diags = analyze_program_sources(
+            {"fixture.py": QA804_BAD}, passes={"QA804"}
+        )
+        assert codes(diags) == ["QA804"]
+        assert "wipe" in diags[0].location.operation
+
+    def test_mutation_charge_without_trace(self):
+        diags = analyze_program_sources(
+            {"fixture.py": QA804_FREE}, passes={"QA804"}
+        )
+        assert codes(diags) == ["QA804"]
+
+    def test_traced_twin_is_silent(self):
+        assert (
+            analyze_program_sources(
+                {"fixture.py": QA804_OK}, passes={"QA804"}
+            )
+            == []
+        )
+
+
+# -- QA805: cache invalidation coverage ----------------------------------
+
+QA805_BAD = '''
+class Engine:
+    def __init__(self):
+        self._plans = EpochKeyedCache(64, name="plans")
+
+    def plan(self, query):
+        cached = self._plans.lookup(query)
+        if cached is None:
+            cached = compile_plan(query)
+            self._plans.store(query, cached)
+        return cached
+'''
+
+QA805_OK = QA805_BAD + '''
+    def invalidate(self):
+        self._plans.bump_epoch()
+'''
+
+QA805_ALIAS = '''
+class Engine:
+    def __init__(self):
+        self._memo = LRUCache(16, name="memo")
+
+    def get(self, key):
+        cache = self._memo
+        value = cache.get(key)
+        if value is None:
+            value = expensive(key)
+            cache.put(key, value)
+        return value
+'''
+
+
+class TestCacheInvalidationPass:
+    def test_store_without_epoch_bump(self):
+        diags = analyze_program_sources(
+            {"fixture.py": QA805_BAD}, passes={"QA805"}
+        )
+        assert codes(diags) == ["QA805"]
+        assert "_plans" in diags[0].location.operation
+
+    def test_bump_anywhere_in_class_is_enough(self):
+        assert (
+            analyze_program_sources(
+                {"fixture.py": QA805_OK}, passes={"QA805"}
+            )
+            == []
+        )
+
+    def test_write_through_local_alias_is_still_seen(self):
+        diags = analyze_program_sources(
+            {"fixture.py": QA805_ALIAS}, passes={"QA805"}
+        )
+        assert codes(diags) == ["QA805"]
+
+
+# -- the real tree -------------------------------------------------------
+
+
+class TestRealTree:
+    def test_clean_under_committed_baseline(self):
+        assert analyze_program() == []
+
+    def test_baseline_entries_all_used_and_justified(self):
+        entries = load_baseline(DEFAULT_BASELINE_PATH)
+        assert entries, "the committed baseline documents the tree"
+        raw = analyze_program(baseline=None)
+        kept, suppressed, stale = apply_baseline(raw, entries)
+        assert kept == []
+        assert stale == [], "stale baseline entries must be deleted"
+        assert suppressed == len(raw)
+
+    def test_every_pass_runs_on_the_real_tree(self):
+        # the no-baseline run must stay confined to the QA8xx family
+        raw = analyze_program(baseline=None)
+        assert raw, "justified findings exist (they are baselined)"
+        assert all(d.code.startswith("QA8") for d in raw)
+
+
+# -- CLI: gate + JSON schema ---------------------------------------------
+
+
+@pytest.fixture
+def empty_baseline(tmp_path):
+    path = tmp_path / "empty_baseline.json"
+    path.write_text(json.dumps({"version": 1, "entries": []}))
+    return str(path)
+
+
+class TestCli:
+    def test_program_lint_is_green(self, capsys):
+        assert main(["lint", "--program"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_program_json_mode_emits_nothing_when_clean(self, capsys):
+        assert main(["lint", "--program", "--format", "json"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_gate_fails_on_seeded_inversion(
+        self, tmp_path, empty_baseline, capsys
+    ):
+        bad = tmp_path / "inversion.py"
+        bad.write_text(QA801_BAD)
+        exit_code = main([
+            "lint", "--program",
+            "--paths", str(bad),
+            "--baseline", empty_baseline,
+        ])
+        assert exit_code == 1
+        assert "QA801" in capsys.readouterr().out
+
+    def test_json_schema_is_pinned(
+        self, tmp_path, empty_baseline, capsys
+    ):
+        bad = tmp_path / "fixture.py"
+        bad.write_text(QA805_BAD)
+        exit_code = main([
+            "lint", "--program", "--format", "json",
+            "--paths", str(bad),
+            "--baseline", empty_baseline,
+        ])
+        assert exit_code == 1
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        for line in lines:
+            row = json.loads(line)
+            assert set(row) == {
+                "code",
+                "name",
+                "severity",
+                "dialect",
+                "operation",
+                "query_index",
+                "message",
+            }
+            assert row["dialect"] == "python"
+            assert row["severity"] == "error"
+            assert row["code"].startswith("QA8")
+
+    def test_custom_baseline_suppresses(
+        self, tmp_path, capsys
+    ):
+        bad = tmp_path / "fixture.py"
+        bad.write_text(QA805_BAD)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "entries": [{
+                "code": "QA805",
+                "location": "*Engine._plans",
+                "justification": "fixture: exercised by the tests",
+            }],
+        }))
+        exit_code = main([
+            "lint", "--program",
+            "--paths", str(bad),
+            "--baseline", str(baseline),
+        ])
+        capsys.readouterr()
+        assert exit_code == 0
+
+    def test_baseline_requires_justification(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "entries": [{
+                "code": "QA805",
+                "location": "*",
+                "justification": "  ",
+            }],
+        }))
+        with pytest.raises(ValueError, match="justification"):
+            load_baseline(baseline)

@@ -229,6 +229,67 @@ class TestTransactions:
                     pass
 
 
+class TestAutocommitFailureReleasesLocks:
+    """A storage-layer failure mid-DML must abort the autocommit txn.
+
+    Before the fix (flagged by QA802) the exception propagated past
+    ``auto.commit()`` and the row lock leaked forever: any retry of
+    the same statement then died with a LockConflict against a
+    transaction that no longer existed.
+    """
+
+    @staticmethod
+    def _fail_once(monkeypatch, table, method):
+        real = getattr(table, method)
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("simulated storage failure")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(table, method, flaky)
+
+    def _no_locks_held(self, db):
+        return all(
+            not held for held in db.txns.locks._held_by_txn.values()
+        )
+
+    def test_failed_insert(self, db, monkeypatch):
+        table = db.catalog.table("person")
+        self._fail_once(monkeypatch, table, "insert")
+        with pytest.raises(RuntimeError, match="storage failure"):
+            db.execute(
+                "INSERT INTO person VALUES (?, 'zed', 'x', 1)", (9,)
+            )
+        assert self._no_locks_held(db)
+        # the retry re-acquires ('person', 9) — leaked, it would
+        # raise LockConflict here
+        db.execute("INSERT INTO person VALUES (?, 'zed', 'x', 1)", (9,))
+        assert db.query("SELECT name FROM person WHERE id = 9") == [
+            ("zed",)
+        ]
+
+    def test_failed_update(self, db, monkeypatch):
+        table = db.catalog.table("person")
+        self._fail_once(monkeypatch, table, "update")
+        with pytest.raises(RuntimeError, match="storage failure"):
+            db.execute("UPDATE person SET age = 99 WHERE id = 1")
+        assert self._no_locks_held(db)
+        db.execute("UPDATE person SET age = 99 WHERE id = 1")
+        assert db.query("SELECT age FROM person WHERE id = 1") == [(99,)]
+
+    def test_failed_delete(self, db, monkeypatch):
+        table = db.catalog.table("person")
+        self._fail_once(monkeypatch, table, "delete")
+        with pytest.raises(RuntimeError, match="storage failure"):
+            db.execute("DELETE FROM person WHERE id = 5")
+        assert self._no_locks_held(db)
+        db.execute("DELETE FROM person WHERE id = 5")
+        assert db.query("SELECT id FROM person WHERE id = 5") == []
+
+
 class TestRecursiveCTE:
     def test_counter(self, db):
         rows = db.query(
