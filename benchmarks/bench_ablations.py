@@ -66,6 +66,7 @@ def test_ablation_gremlin_server_overhead(benchmark, sf3_dataset):
     """Embedded traversal vs the same traversal through the server."""
     connector = make_connector("neo4j-gremlin")
     connector.load(sf3_dataset)
+    connector.set_execution_mode("interpreted")  # paper-era server
     person_id = sf3_dataset.persons[0].id
 
     def run():
@@ -172,6 +173,7 @@ def test_ablation_full_mix_crashes_gremlin_server(benchmark, sf3_dataset):
     def run():
         connector = make_connector("titan-c")
         connector.load(sf3_dataset)
+        connector.set_execution_mode("interpreted")  # paper-era server
         connector.server.queue_limit = 24
         config = InteractiveConfig(
             readers=64,

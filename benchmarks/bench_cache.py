@@ -92,6 +92,7 @@ def test_gremlin_two_hop_cold_vs_warm(sf3_dataset):
     """
     connector = make_connector("neo4j-gremlin")
     connector.load(sf3_dataset)
+    connector.set_execution_mode("interpreted")  # measure the script cache
     connector.enable_caching()
     pids = [p.id for p in sf3_dataset.persons[:8]]
 
@@ -184,6 +185,50 @@ def test_hit_rates_under_update_stream(sf3_dataset):
     )
     assert neighborhood.hits > 0
     assert neighborhood.invalidations > 0  # the stream evicted entries
+
+
+def test_plan_invalidation_under_updates_and_analyze(sf3_dataset):
+    """The BENCH_cache blind spot: an update batch followed by the
+    maintenance ANALYZE must evict cached Cypher plans *and* compiled
+    closures (counted as invalidations), and warm reads must re-converge
+    to the same answers afterwards."""
+    connector = make_connector("neo4j-cypher")
+    connector.load(sf3_dataset)
+    connector.enable_caching()
+    pids = [p.id for p in sf3_dataset.persons[:8]]
+
+    answers_before = {pid: connector.two_hop(pid) for pid in pids}
+    warm_before_ms = sum(
+        _warm_ms(lambda p=pid: connector.two_hop(p)) for pid in pids
+    )
+    before = {s.name: s.invalidations for s in connector.cache_stats()}
+
+    connector.apply_update_batch(sf3_dataset.updates[:50])
+    connector.db.analyze()
+
+    after = {s.name: s.invalidations for s in connector.cache_stats()}
+    cold_after_ms = sum(
+        _cost_ms(lambda p=pid: connector.two_hop(p)) for pid in pids
+    )
+    warm_after_ms = sum(
+        _warm_ms(lambda p=pid: connector.two_hop(p)) for pid in pids
+    )
+    _RESULTS["plan_invalidation_under_updates"] = {
+        "warm_before_ms": round(warm_before_ms, 4),
+        "cold_after_analyze_ms": round(cold_after_ms, 4),
+        "warm_after_ms": round(warm_after_ms, 4),
+        "plan_invalidations": after["cypher-plans"] - before["cypher-plans"],
+        "closure_invalidations": (
+            after["cypher-closures"] - before["cypher-closures"]
+        ),
+    }
+    assert after["cypher-plans"] > before["cypher-plans"]
+    assert after["cypher-closures"] > before["cypher-closures"]
+    # answers survive the invalidation (updates only add new entities)
+    for pid in pids:
+        assert set(answers_before[pid]) <= set(connector.two_hop(pid))
+    # the re-plan/re-compile happened once; repeats are warm again
+    assert warm_after_ms < cold_after_ms
 
 
 # -- cross-system validation with caching on ---------------------------------

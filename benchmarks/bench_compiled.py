@@ -1,0 +1,123 @@
+"""Compiled-execution smoke bench: interpreted vs. compiled closures.
+
+The two-hop mix (the paper's dominant read pattern) over eight curated
+persons at SF3, run per system in both execution modes on *fresh*
+connectors, cold and warm:
+
+* **cold** — the first pass pays parse/plan plus ``closure_compile``
+  (and, for Gremlin, the script-to-bytecode charge) before any closure
+  can run;
+* **warm** — repeats hit the epoch-keyed closure caches and pay only
+  ``compiled_exec`` parameter binding before the vectorized kernels.
+
+The headline assertion is the tentpole target: the compiled path must
+be **at least 10x faster warm** than the tuple-at-a-time interpreter
+for Neo4j-Cypher and Neo4j-Gremlin, whose interpreted paths price
+per-row result protocol and per-traverser step evaluation (plus
+per-request script compilation — no script cache, as in the paper).
+The relational/RDF engines won't see 10x — Postgres's two-hop is
+already a pair of hash joins and Virtuoso's engine is vectorized in
+*both* modes — but compiled must never be slower than interpreted.
+
+Results land in ``BENCH_compiled.json`` at the repo root (the CI
+perf-smoke artifact).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import make_connector
+from repro.core.benchmark import WorkloadParams
+from repro.simclock import CostModel, meter
+
+from conftest import SCALE_DIVISOR, banner
+
+MODEL = CostModel()
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_compiled.json"
+REPS = 5
+SYSTEMS = (
+    "postgres-sql",
+    "neo4j-cypher",
+    "neo4j-gremlin",
+    "virtuoso-sparql",
+)
+#: the tentpole acceptance bar, asserted for the two interpreter-priced
+#: graph dialects
+TENTPOLE_SPEEDUP = 10.0
+TENTPOLE_SYSTEMS = ("neo4j-cypher", "neo4j-gremlin")
+
+_RESULTS: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="module")
+def mix_pids(sf3_dataset):
+    return WorkloadParams.curate(sf3_dataset, count=8, seed=7).person_ids
+
+
+def _mix_ms(connector, pids) -> float:
+    with meter() as ledger:
+        for pid in pids:
+            connector.two_hop(pid)
+    return ledger.cost_us(MODEL) / 1000.0
+
+
+def _measure(key: str, mode: str, dataset, pids) -> tuple[float, float]:
+    """(cold, warm-median) mix cost on a fresh connector in ``mode``."""
+    connector = make_connector(key)
+    connector.load(dataset)
+    connector.set_execution_mode(mode)
+    cold = _mix_ms(connector, pids)
+    warms = sorted(_mix_ms(connector, pids) for _ in range(REPS))
+    return cold, warms[len(warms) // 2]
+
+
+@pytest.mark.parametrize("key", SYSTEMS)
+def test_two_hop_mix_interpreted_vs_compiled(key, sf3_dataset, mix_pids):
+    interp_cold, interp_warm = _measure(
+        key, "interpreted", sf3_dataset, mix_pids
+    )
+    compiled_cold, compiled_warm = _measure(
+        key, "compiled", sf3_dataset, mix_pids
+    )
+    warm_speedup = interp_warm / compiled_warm
+    _RESULTS[key] = {
+        "interpreted_cold_ms": round(interp_cold, 4),
+        "interpreted_warm_ms": round(interp_warm, 4),
+        "compiled_cold_ms": round(compiled_cold, 4),
+        "compiled_warm_ms": round(compiled_warm, 4),
+        "warm_speedup": round(warm_speedup, 2),
+    }
+    # a first compiled pass pays closure_compile on top of parse/plan,
+    # so it must cost more than the warm repeats it amortizes into
+    assert compiled_cold > compiled_warm
+    # compiled execution is the default mode: it must never lose to
+    # the interpreter, on any dialect
+    assert warm_speedup >= 1.0, (
+        f"{key}: compiled warm path slower than interpreted "
+        f"({warm_speedup:.2f}x)"
+    )
+    if key in TENTPOLE_SYSTEMS:
+        assert warm_speedup >= TENTPOLE_SPEEDUP, (
+            f"{key}: warm two-hop mix speedup {warm_speedup:.2f}x "
+            f"below the {TENTPOLE_SPEEDUP:g}x target"
+        )
+
+
+def test_write_report():
+    """Runs last: persist the artifact the CI perf-smoke job uploads."""
+    assert _RESULTS, "compiled benches did not run"
+    report = {
+        "bench": "compiled",
+        "scale_factor": 3,
+        "scale_divisor": SCALE_DIVISOR,
+        "repetitions": REPS,
+        "results": _RESULTS,
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(banner("Compiled vs. interpreted execution: two-hop mix"))
+    for name, row in _RESULTS.items():
+        print(f"{name}: {json.dumps(row)}")

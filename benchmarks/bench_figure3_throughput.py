@@ -115,6 +115,7 @@ def test_figure3_neo4j_checkpoint_dips(benchmark, sf3_dataset):
     def run():
         connector = make_connector("neo4j-cypher")
         connector.load(sf3_dataset)
+        connector.set_execution_mode("interpreted")  # paper-era engine
         config = InteractiveConfig(
             readers=8,
             duration_ms=1_000.0,

@@ -24,6 +24,7 @@ SCOPE_PACKAGES: tuple[str, ...] = (
     "txn",
     "storage",
     "cache",
+    "exec",
     "graphdb",
     "relational",
     "rdf",

@@ -194,6 +194,12 @@ def cmd_validate(args: argparse.Namespace) -> int:
         connector.load(dataset)
         if args.cached:
             connector.enable_caching()
+        # pin the mode on every system so one run cross-checks one
+        # executor: plain validate exercises the interpreters,
+        # --compiled exercises the compiled/vectorized closures
+        connector.set_execution_mode(
+            "compiled" if getattr(args, "compiled", False) else "interpreted"
+        )
         connectors[key] = connector
     params = WorkloadParams.curate(dataset, count=args.checks, seed=args.seed)
     reference_key = systems[0]
@@ -410,6 +416,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--cached", action="store_true",
         help="enable each connector's hot-path caches before checking",
+    )
+    p.add_argument(
+        "--compiled", action="store_true",
+        help="run every system in compiled (vectorized) execution mode "
+             "instead of the classic interpreters",
     )
     p.set_defaults(fn=cmd_validate)
 

@@ -213,6 +213,20 @@ class Connector(ABC):
         for event in events:
             self.apply_update(event)
 
+    # -- execution-mode hook (overridden by every engine-backed connector) -------------------
+
+    def set_execution_mode(self, mode: str) -> None:
+        """Switch the underlying engine between ``interpreted`` and
+        ``compiled`` execution.
+
+        Engines default to ``compiled``; the paper-figure harnesses pin
+        ``interpreted`` because the 2015-era systems under test ran
+        classic tuple-at-a-time interpreters.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose an execution mode"
+        )
+
     # -- caching hooks (overridden where relevant) -----------------------------------------
 
     def enable_caching(self) -> None:

@@ -525,6 +525,9 @@ class CypherConnector(Connector):
             for event in events:
                 self.apply_update(event)
 
+    def set_execution_mode(self, mode: str) -> None:
+        self.db.set_execution_mode(mode)
+
     def enable_caching(self) -> None:
         """Turn on the store's adjacency/neighborhood cache."""
         self.db.enable_adjacency_cache()

@@ -676,7 +676,10 @@ class GremlinConnector(Connector):
             key=f"add_edge:{label}:{out_label}",
         )
 
-    # -- caching hooks -----------------------------------------------------------------------
+    # -- execution-mode / caching hooks --------------------------------------------------------
+
+    def set_execution_mode(self, mode: str) -> None:
+        self.server.set_execution_mode(mode)
 
     def enable_caching(self) -> None:
         """Turn on the Gremlin Server's script/bytecode cache."""

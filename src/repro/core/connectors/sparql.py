@@ -529,5 +529,8 @@ class VirtuosoSparqlConnector(Connector):
             for event in events:
                 self.apply_update(event)
 
+    def set_execution_mode(self, mode: str) -> None:
+        self.db.set_execution_mode(mode)
+
     def cache_stats(self) -> list:
         return self.db.cache_stats()

@@ -368,6 +368,9 @@ class SqlConnector(Connector):
         finally:
             self._batch_depth -= 1
 
+    def set_execution_mode(self, mode: str) -> None:
+        self.db.set_execution_mode(mode)
+
     def cache_stats(self) -> list:
         return self.db.cache_stats()
 

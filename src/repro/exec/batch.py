@@ -1,0 +1,48 @@
+"""The batch-at-a-time calling convention.
+
+A *kernel* is a closure ``(ctx) -> Iterator[list[item]]`` pulling
+bounded batches from its input kernel(s).  The pull model keeps the
+interpreter's laziness at batch granularity: a LIMIT stops drawing
+batches, so an eager evaluation cliff (compute-everything-then-
+truncate) cannot appear — the worst case over-computes one batch.
+
+Cost accounting: each kernel charges one ``vector_setup`` per batch it
+dispatches plus ``tuple_vec`` per item in it, replacing the
+interpreters' per-tuple charges (``tuple_cpu``, ``cypher_row``,
+``step_eval``).  Storage work is charged by the batch read APIs the
+kernels call, exactly as on the interpreted path — the saving there
+comes from deduplicated accesses, never from dropped charges.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import TypeVar
+
+from repro.simclock.ledger import charge
+
+T = TypeVar("T")
+
+
+def charge_batch(count: int) -> None:
+    """Charge one dispatched batch of ``count`` items."""
+    charge("vector_setup")
+    if count:
+        charge("tuple_vec", count)
+
+
+def batched(items: Iterable[T], size: int) -> Iterator[list[T]]:
+    """Chunk ``items`` into lists of at most ``size`` (no charging)."""
+    batch: list[T] = []
+    for item in items:
+        batch.append(item)
+        if len(batch) >= size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def flatten(batches: Iterable[list[T]]) -> list[T]:
+    """Materialize a batch stream into one list."""
+    return [item for batch in batches for item in batch]

@@ -1,0 +1,12 @@
+"""The compiler escape hatch."""
+
+from __future__ import annotations
+
+
+class CompileError(Exception):
+    """The query cannot be compiled without changing its semantics.
+
+    Engines catch this once per statement, memoize the failure in the
+    closure cache, and run the interpreter instead — the fallback is a
+    per-statement decision, never a per-row one.
+    """

@@ -1,0 +1,149 @@
+"""SQL plan-to-closure compiler.
+
+Takes an optimized physical plan from the planner (the same object the
+statement cache stores) and emits one specialized closure per operator,
+chaining the vectorized kernels from :mod:`repro.exec.kernels` with the
+plan's constants — tables, key closures, join kinds, batch sizes — pre
+bound.  Executing the compiled form never touches the plan tree again.
+
+Batch sizes come from the planner's cardinality annotations
+(``est_rows``) via :func:`repro.stats.choose_batch_size`: small expected
+outputs get small batches (don't over-compute under a LIMIT), large
+ones amortize dispatch up to the cap.
+
+Operators the kernel library does not cover — recursive CTEs, and any
+node added after this compiler — are *lifted*: their interpreted
+``rows()`` iterator is wrapped into batches unchanged, charging exactly
+what the interpreter charges.  SQL compilation therefore never raises
+:class:`~repro.exec.errors.CompileError`; an exotic plan simply keeps
+its exotic parts interpreted inline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from repro.exec import kernels
+from repro.exec.batch import batched, flatten
+from repro.exec.kernels import Kernel
+from repro.relational.sql.executor import (
+    Aggregate,
+    Distinct,
+    ExecContext,
+    Filter,
+    HashJoin,
+    IndexEqScan,
+    IndexNLJoin,
+    Limit,
+    MaterializedScan,
+    NLJoin,
+    PlanNode,
+    Project,
+    SeqScan,
+    SingleRow,
+    Sort,
+    VectorizedIndexNLJoin,
+)
+from repro.stats import choose_batch_size
+
+CompiledQuery = Callable[[ExecContext], list[tuple]]
+
+
+def compile_plan(plan: PlanNode) -> CompiledQuery:
+    """Specialize ``plan`` into a closure ``(ctx) -> list of rows``.
+
+    Output rows, their order, and storage-level charges are identical
+    to ``list(plan.rows(ctx))``; only per-tuple interpretation cost is
+    replaced by per-batch dispatch.
+    """
+    kernel = _compile(plan)
+
+    def run(ctx: ExecContext) -> list[tuple]:
+        return flatten(kernel(ctx))
+
+    return run
+
+
+def _compile(node: PlanNode) -> Kernel:
+    size = choose_batch_size(node.est_rows)
+    if isinstance(node, SingleRow):
+        return kernels.single_row()
+    if isinstance(node, SeqScan):
+        return kernels.seq_scan(node.table, size)
+    if isinstance(node, IndexEqScan):
+        return kernels.index_eq_scan(
+            node.table, node.column, node.key_fn, node.needed, size
+        )
+    if isinstance(node, MaterializedScan):
+        holder = node.holder
+        return kernels.materialized_scan(lambda: holder.rows, size)
+    if isinstance(node, Filter):
+        return kernels.filter_rows(_compile(node.child), node.predicate)
+    if isinstance(node, Project):
+        return kernels.project_rows(_compile(node.child), node.exprs)
+    if isinstance(node, IndexNLJoin):
+        return kernels.index_nl_join(
+            _compile(node.outer),
+            node.table,
+            node.inner_column,
+            node.outer_key_fn,
+            node.kind,
+            node.residual,
+            None,
+            node._null_row,
+        )
+    if isinstance(node, VectorizedIndexNLJoin):
+        return kernels.index_nl_join(
+            _compile(node.outer),
+            node.table,
+            node.inner_column,
+            node.outer_key_fn,
+            node.kind,
+            node.residual,
+            node.needed,
+            node._null_row,
+        )
+    if isinstance(node, HashJoin):
+        return kernels.hash_join(
+            _compile(node.left),
+            _compile(node.right),
+            node.left_key_fn,
+            node.right_key_fn,
+            node.kind,
+            node.residual,
+            node._null_row,
+        )
+    if isinstance(node, NLJoin):
+        return kernels.nl_join(
+            _compile(node.outer),
+            _compile(node.inner),
+            node.predicate,
+            node.kind,
+            node._null_row,
+        )
+    if isinstance(node, Aggregate):
+        return kernels.aggregate_rows(
+            _compile(node.child), node.group_fns, node.agg_specs, size
+        )
+    if isinstance(node, Sort):
+        return kernels.sort_rows(
+            _compile(node.child), node.key_fns, node.descending, size
+        )
+    if isinstance(node, Limit):
+        return kernels.limit_rows(_compile(node.child), node.limit)
+    if isinstance(node, Distinct):
+        return kernels.distinct_rows(_compile(node.child))
+    return _lift(node, size)
+
+
+def _lift(node: PlanNode, size: int) -> Kernel:
+    """Wrap an uncompilable operator's interpreted iterator into batches.
+
+    The node charges its own interpreted costs as it runs; the wrapper
+    adds nothing, so lifting is never more expensive than interpreting.
+    """
+
+    def run(ctx: ExecContext) -> Iterator[list[tuple]]:
+        yield from batched(node.rows(ctx), size)
+
+    return run

@@ -20,22 +20,35 @@ from contextlib import contextmanager
 from typing import Any
 
 from repro.cache import CacheStats, EpochKeyedCache
+from repro.exec.errors import CompileError
 from repro.graphdb.cypher.executor import CypherExecutor, WriteSummary
 from repro.graphdb.cypher.parser import parse
 from repro.graphdb.store import GraphStore
 from repro.simclock.ledger import charge
 from repro.storage.wal import WriteAheadLog
 
+#: closure-cache sentinel: this statement cannot be compiled (a write,
+#: shortestPath, ...) — skip straight to the interpreter on every run
+_INTERPRET = object()
+
 
 class GraphDatabase:
-    def __init__(self, name: str = "neo4j") -> None:
+    def __init__(
+        self, name: str = "neo4j", execution_mode: str = "compiled"
+    ) -> None:
+        if execution_mode not in ("interpreted", "compiled"):
+            raise ValueError(f"unknown execution mode: {execution_mode!r}")
         self.name = name
+        self.execution_mode = execution_mode
         self.store = GraphStore(name)
         self.wal = WriteAheadLog(f"{name}-wal")
         self.executor = CypherExecutor(self.store)
         #: cypher text -> (epoch, parsed+planned query); the plan half
         #: depends on indexes + stats, so DDL/ANALYZE bump the epoch
         self._stmt_cache = EpochKeyedCache(4096, name="cypher-plans")
+        #: cypher text -> compiled closure (or the interpreter sentinel);
+        #: invalidated in lockstep with the statement cache
+        self._closure_cache = EpochKeyedCache(4096, name="cypher-closures")
         self.dirty_records = 0
         self.checkpoint_count = 0
         self.statements_executed = 0
@@ -47,16 +60,44 @@ class GraphDatabase:
     ) -> list[tuple]:
         """Run one Cypher statement; returns result rows (empty for writes)."""
         self.statements_executed += 1
+        if self.execution_mode == "compiled":
+            # deferred: repro.exec.cypherc imports this package's AST,
+            # so a top-level import would be circular
+            from repro.exec.cypherc import compile_query
+
+            fn = self._closure_cache.lookup(cypher)
+            if fn is None:
+                query = self._parse_cached(cypher)
+                charge("closure_compile")
+                try:
+                    fn = compile_query(query, self.store, self.executor.stats)
+                except CompileError:
+                    fn = _INTERPRET
+                self._closure_cache.store(cypher, fn)
+            if fn is not _INTERPRET:
+                charge("compiled_exec")
+                rows, _summary = fn(params)
+                return rows
         charge("cypher_exec")
+        query = self._parse_cached(cypher)
+        rows, summary = self.executor.run(query, params)
+        self._log_writes(summary)
+        return rows
+
+    def _parse_cached(self, cypher: str) -> Any:
         query = self._stmt_cache.lookup(cypher)
         if query is None:
             charge("cypher_parse")
             charge("cypher_plan")
             query = parse(cypher)
             self._stmt_cache.store(cypher, query)
-        rows, summary = self.executor.run(query, params)
-        self._log_writes(summary)
-        return rows
+        return query
+
+    def set_execution_mode(self, mode: str) -> None:
+        """Switch between ``interpreted`` and ``compiled`` execution."""
+        if mode not in ("interpreted", "compiled"):
+            raise ValueError(f"unknown execution mode: {mode!r}")
+        self.execution_mode = mode
 
     def _log_writes(self, summary: WriteSummary) -> None:
         writes = (
@@ -82,6 +123,7 @@ class GraphDatabase:
     def create_index(self, label: str, prop: str) -> None:
         self.store.create_index(label, prop)
         self._stmt_cache.bump_epoch()  # cached plans may prefer the new index
+        self._closure_cache.bump_epoch()  # compiled anchors likewise
         if self.executor.stats is not None:
             # keep index cardinalities in sync with the new access path
             self.analyze()
@@ -91,6 +133,7 @@ class GraphDatabase:
         charge("graph_analyze")
         self.executor.stats = self.store.collect_statistics()
         self._stmt_cache.bump_epoch()
+        self._closure_cache.bump_epoch()
         # whole-cache fallback: bulk loads end with ANALYZE, so this also
         # clears neighborhoods populated mid-load
         self.store.invalidate_caches()
@@ -109,7 +152,7 @@ class GraphDatabase:
 
     def cache_stats(self) -> list[CacheStats]:
         """Uniform cache counters (shared facade across all dialects)."""
-        rows = [self._stmt_cache.stats()]
+        rows = [self._stmt_cache.stats(), self._closure_cache.stats()]
         rows.extend(self.store.cache_stats())
         return rows
 

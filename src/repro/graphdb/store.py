@@ -334,6 +334,53 @@ class GraphStore:
             cache.put(key, result, {node_id, *friends})
         return result
 
+    # -- batch read path (vectorized executor) -----------------------------------
+
+    def neighbors_batch(
+        self,
+        node_ids: Iterable[int],
+        rel_type: str | None = None,
+        direction: Direction = Direction.BOTH,
+    ) -> dict[int, tuple[tuple[int, int], ...]]:
+        """Adjacency lists for a whole frontier at once.
+
+        Duplicate ids in ``node_ids`` are fetched once — the batch
+        executor's frontiers routinely revisit nodes, and a real
+        vectorized engine would never re-walk the same record chain
+        within one operator invocation.  Per unique node the cost is
+        exactly :meth:`neighbors` (cache-aware when enabled).
+        """
+        return {
+            node_id: tuple(self.neighbors(node_id, rel_type, direction))
+            for node_id in dict.fromkeys(node_ids)
+        }
+
+    def node_props_batch(
+        self, node_ids: Iterable[int]
+    ) -> dict[int, dict[str, Any]]:
+        """Property maps for a deduplicated batch of nodes."""
+        return {
+            node_id: self.node_props(node_id)
+            for node_id in dict.fromkeys(node_ids)
+        }
+
+    def node_labels_batch(
+        self, node_ids: Iterable[int]
+    ) -> dict[int, tuple[str, ...]]:
+        """Label tuples for a deduplicated batch of nodes."""
+        return {
+            node_id: self.node_labels(node_id)
+            for node_id in dict.fromkeys(node_ids)
+        }
+
+    def rel_props_batch(
+        self, rel_ids: Iterable[int]
+    ) -> dict[int, dict[str, Any]]:
+        """Property maps for a deduplicated batch of relationships."""
+        return {
+            rel_id: self.rel_props(rel_id) for rel_id in dict.fromkeys(rel_ids)
+        }
+
     def nodes_with_label(self, label: str) -> Iterator[int]:
         """Label index scan: only touches nodes carrying the label.
 

@@ -17,7 +17,10 @@ from __future__ import annotations
 import json
 from collections.abc import Iterator, Sequence
 from contextlib import contextmanager
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.exec.sqlc import CompiledQuery
 
 from repro.cache import CacheStats, EpochKeyedCache, LRUCache
 from repro.relational.catalog import Catalog
@@ -48,8 +51,12 @@ class Database:
         transitive_support: bool = False,
         buffer_capacity: int = 1 << 16,
         cache_statements: bool = True,
+        execution_mode: str = "compiled",
     ) -> None:
+        if execution_mode not in ("interpreted", "compiled"):
+            raise ValueError(f"unknown execution mode: {execution_mode!r}")
         self.name = name
+        self.execution_mode = execution_mode
         self.wal = WriteAheadLog(f"{name}-wal")
         self.catalog = Catalog(
             storage, buffer_capacity=buffer_capacity, wal=self.wal
@@ -64,6 +71,8 @@ class Database:
         self._stmt_cache = LRUCache(4096, name="sql-statements")
         #: sql -> (stats/schema epoch, plan); stale epochs force a replan
         self._plan_cache = EpochKeyedCache(4096, name="sql-plans")
+        #: sql -> compiled closure; invalidated in lockstep with plans
+        self._closure_cache = EpochKeyedCache(4096, name="sql-closures")
         self._active_txn: Transaction | None = None
         self.statements_executed = 0
 
@@ -117,15 +126,30 @@ class Database:
     @_stats_epoch.setter
     def _stats_epoch(self, value: int) -> None:
         self._plan_cache.epoch = value
+        self._closure_cache.epoch = value
 
     def cache_stats(self) -> list[CacheStats]:
         """Uniform cache counters (shared facade across all dialects)."""
-        return [self._stmt_cache.stats(), self._plan_cache.stats()]
+        return [
+            self._stmt_cache.stats(),
+            self._plan_cache.stats(),
+            self._closure_cache.stats(),
+        ]
 
     def set_join_reordering(self, enabled: bool) -> None:
         """Toggle cost-based join reordering (benchmark A/B switch)."""
         self.planner.reorder_enabled = enabled
         self._invalidate_plans()
+
+    def set_execution_mode(self, mode: str) -> None:
+        """Switch between ``interpreted`` and ``compiled`` execution.
+
+        Compiled closures specialize the same cached plans, so switching
+        modes needs no invalidation — both caches stay coherent.
+        """
+        if mode not in ("interpreted", "compiled"):
+            raise ValueError(f"unknown execution mode: {mode!r}")
+        self.execution_mode = mode
 
     def query(self, sql: str, params: Sequence[Any] = ()) -> list[tuple]:
         """Like :meth:`execute` but guarantees a row list."""
@@ -189,10 +213,33 @@ class Database:
     def _execute_query(
         self, sql: str, stmt: ast.Statement, params: Sequence[Any]
     ) -> list[tuple]:
-        plan = self._plan_cached(sql, stmt)
-        rows = list(plan.rows(ExecContext(params)))
+        if self.execution_mode == "compiled":
+            fn = self._compile_cached(sql, stmt)
+            charge("compiled_exec")
+            rows = fn(ExecContext(params))
+        else:
+            plan = self._plan_cached(sql, stmt)
+            rows = list(plan.rows(ExecContext(params)))
         charge("sql_row", len(rows))
         return rows
+
+    def _compile_cached(
+        self, sql: str, stmt: ast.Statement
+    ) -> "CompiledQuery":
+        """Plan-to-closure compilation, cached alongside the plan."""
+        # deferred import: repro.exec.sqlc compiles this package's plans,
+        # so a module-level import would be circular
+        from repro.exec.sqlc import compile_plan
+
+        fn = self._closure_cache.lookup(sql)
+        if fn is not None:
+            return fn
+        plan = self._plan_cached(sql, stmt)
+        charge("closure_compile")
+        fn = compile_plan(plan)
+        if self._cache_statements:
+            self._closure_cache.store(sql, fn)
+        return fn
 
     # -- DML --------------------------------------------------------------------------
 
@@ -389,6 +436,7 @@ class Database:
 
     def _invalidate_plans(self) -> None:
         self._plan_cache.bump_epoch()
+        self._closure_cache.bump_epoch()
 
     # -- crash recovery --------------------------------------------------------------
 

@@ -18,7 +18,7 @@ textual order of the FROM clause, so plans stay deterministic.
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Iterator
 from dataclasses import replace
 from typing import Any
 
@@ -48,7 +48,7 @@ from repro.relational.sql.executor import (
     compile_expr,
 )
 from repro.simclock.ledger import charge
-from repro.stats import Selectivity, SqlStatistics
+from repro.stats import ColumnStats, Selectivity, SqlStatistics
 from repro.stats.selectivity import DEFAULT_ROWS, RANGE_SELECTIVITY
 
 AGGREGATE_FUNCS = {"count", "sum", "min", "max", "avg"}
@@ -126,7 +126,7 @@ def _is_constant(expr: ast.Expr) -> bool:
     return not _column_refs(expr)
 
 
-def _select_exprs(select: ast.Select):
+def _select_exprs(select: ast.Select) -> Iterator[ast.Expr]:
     for item in select.items:
         yield item.expr
     if select.where is not None:
@@ -679,7 +679,9 @@ class Planner:
                     )
         return 1.0
 
-    def _column_stats(self, table: Any, column: str):
+    def _column_stats(
+        self, table: Any, column: str
+    ) -> ColumnStats | None:
         if self.stats is None:
             return None
         table_stats = self.stats.table(table.name)
@@ -922,7 +924,7 @@ class RecursiveCTEPlan(PlanNode):
         self.distinct = distinct
         self.schema = body.schema
 
-    def rows(self, ctx: ExecContext):
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
         seen: set[tuple] = set()
         all_rows: list[tuple] = []
 

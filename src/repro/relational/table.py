@@ -239,6 +239,33 @@ class Table:
             rows.append(tuple(row))
         return rows
 
+    def fetch_values_batch(
+        self, handles: Sequence[Any], columns: Sequence[str]
+    ) -> list[tuple]:
+        """Projection fetch for a whole batch of handles.
+
+        Columnar storage reads each requested column once for the whole
+        batch (one ``vector_setup``); row storage decodes per record,
+        exactly like :meth:`fetch_values`.
+        """
+        if self.storage == "row" or not handles:
+            return [self.fetch_values(h, columns) for h in handles]
+        charge("vector_setup")
+        return self._cols.read_batch(list(handles), list(columns))
+
+    def lookup_batch(
+        self, column: str, values: Sequence[Any]
+    ) -> dict[Any, list[Any]]:
+        """Index probes for a deduplicated batch of keys.
+
+        Duplicate keys are probed once — the batch executor's join
+        kernels routinely see repeated outer keys within one batch.
+        """
+        index = self._indexes.get(column)
+        if index is None:
+            raise KeyError(f"no index on {self.name}.{column}")
+        return {value: index.search(value) for value in dict.fromkeys(values)}
+
     def fetch_values(self, handle: Any, columns: Sequence[str]) -> tuple:
         """Projection fetch.
 

@@ -76,6 +76,12 @@ DEFAULT_WEIGHTS: dict[str, float] = {
                               # transitive derived-table pipeline
     "gremlin_compile": 11000.0,  # script evaluation / traversal compilation
     "step_eval": 0.9,         # advance one traverser through one step
+    "closure_compile": 150.0,  # specialize one cached plan into a chain of
+                               # vectorized kernel closures (constants,
+                               # offsets and accessors pre-bound)
+    "compiled_exec": 40.0,    # per-statement setup of a compiled query
+                              # (txn begin + closure dispatch; replaces the
+                              # interpreted pipeline construction)
     # --- client / server ------------------------------------------------------
     "client_rtt": 95.0,       # native wire protocol round trip (10 GbE)
     "server_rtt": 900.0,      # Gremlin Server websocket round trip + framing

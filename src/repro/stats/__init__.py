@@ -7,6 +7,11 @@ analysis passes use :mod:`repro.stats.snbmodel` (the closed-form SNB
 cardinality model) to attach expected row counts to their warnings.
 """
 
+from repro.stats.batching import (
+    MAX_BATCH_SIZE,
+    MIN_BATCH_SIZE,
+    choose_batch_size,
+)
 from repro.stats.collect import (
     ColumnStats,
     EquiWidthHistogram,
@@ -25,6 +30,9 @@ from repro.stats.snbmodel import (
 )
 
 __all__ = [
+    "MAX_BATCH_SIZE",
+    "MIN_BATCH_SIZE",
+    "choose_batch_size",
     "ColumnStats",
     "EquiWidthHistogram",
     "GraphStatistics",

@@ -1,0 +1,31 @@
+"""Cardinality-driven batch sizing for the vectorized executor.
+
+The compiled engines (:mod:`repro.exec`) process operators batch-at-a-
+time; each dispatched batch pays a fixed ``vector_setup`` cost, so the
+sweet spot depends on how many rows the optimizer expects to flow
+through the operator.  Tiny inputs should not pay for a 1024-slot batch
+and huge inputs should not dispatch thousands of 64-slot ones.
+"""
+
+from __future__ import annotations
+
+MIN_BATCH_SIZE = 64
+MAX_BATCH_SIZE = 1024
+
+
+def choose_batch_size(est_rows: float | None) -> int:
+    """Pick a power-of-two batch size from a cardinality estimate.
+
+    The estimate is the planner's ``est_rows`` for the operator's input
+    (``None`` when statistics have not been collected).  The result is
+    the smallest power of two covering the estimate, clamped to
+    [``MIN_BATCH_SIZE``, ``MAX_BATCH_SIZE``] — statistics-free plans get
+    the maximum size, which wastes nothing because batches are filled
+    lazily.
+    """
+    if est_rows is None:
+        return MAX_BATCH_SIZE
+    size = MIN_BATCH_SIZE
+    while size < est_rows and size < MAX_BATCH_SIZE:
+        size <<= 1
+    return size

@@ -78,6 +78,17 @@ class cost_guard:
         self._ticks += 1
         if self._ticks % self.check_every:
             return
+        self._check()
+
+    def tick_many(self, n: int) -> None:
+        """Advance the guard by ``n`` step evaluations at once."""
+        before = self._ticks // self.check_every
+        self._ticks += n
+        if self._ticks // self.check_every == before:
+            return
+        self._check()
+
+    def _check(self) -> None:
         if self.model.cost_us(self.ledger.counters) > self.limit_us:
             raise StepBudgetExceeded(
                 f"traversal exceeded the {self.limit_us / 1e6:.1f}s "
@@ -90,6 +101,26 @@ class cost_guard:
 
     def __exit__(self, *exc_info) -> None:
         _COST_GUARDS.remove(self)
+
+
+def tick_batch(n: int) -> None:
+    """Consume ``n`` step evaluations' worth of budget in one call.
+
+    The compiled (vectorized) executor replaces the per-traverser
+    ``step_eval`` charge with batch charges, but the server's step budget
+    and evaluation-timeout guard must observe the same traverser counts
+    in both modes — otherwise compiled requests would never DNF.
+    """
+    if n <= 0:
+        return
+    if _BUDGET:
+        _BUDGET[-1] -= n
+        if _BUDGET[-1] <= 0:
+            raise StepBudgetExceeded(
+                "traversal exceeded its step budget"
+            )
+    if _COST_GUARDS:
+        _COST_GUARDS[-1].tick_many(n)
 
 
 @dataclass(frozen=True)

@@ -255,11 +255,22 @@ class TestEngineFacades:
         db.query("SELECT id FROM t", ())
         db.query("SELECT id FROM t", ())
         names = {s.name for s in db.cache_stats()}
-        assert names == {"sql-statements", "sql-plans"}
-        plans = next(
-            s for s in db.cache_stats() if s.name == "sql-plans"
-        )
-        assert plans.hits >= 1
+        assert names == {"sql-statements", "sql-plans", "sql-closures"}
+        stats = {s.name: s for s in db.cache_stats()}
+        # compiled mode (the default): warm statements hit the closure
+        # cache; the plan was still built (and cached) exactly once
+        assert stats["sql-closures"].hits >= 1
+        assert stats["sql-plans"].misses == 1
+
+    def test_sql_interpreted_mode_hits_plan_cache(self):
+        db = Database("row", execution_mode="interpreted")
+        db.execute("CREATE TABLE t (id BIGINT PRIMARY KEY)")
+        db.execute("INSERT INTO t VALUES (?)", (1,))
+        db.query("SELECT id FROM t", ())
+        db.query("SELECT id FROM t", ())
+        stats = {s.name: s for s in db.cache_stats()}
+        assert stats["sql-plans"].hits >= 1
+        assert stats["sql-closures"].hits == 0
 
     def test_cypher_engine_reports_plan_cache(self):
         db = GraphDatabase()
@@ -281,14 +292,41 @@ class TestEngineFacades:
         rows = db.execute("MATCH (p:Person) WHERE p.id = 1 RETURN p.id")
         assert rows == [(1,)]
 
+    def test_cypher_ddl_analyze_bumps_invalidation_counters(self):
+        """The BENCH_cache blind spot: DDL/ANALYZE must surface as
+        ``invalidations`` on the plan AND closure caches, not silently
+        reset the epoch while the counters stay at zero."""
+        db = GraphDatabase()
+        db.execute("CREATE (:Person {id: 1})")
+        db.execute("MATCH (p:Person) WHERE p.id = 1 RETURN p.id")
+        before = {s.name: s.invalidations for s in db.cache_stats()}
+        db.create_index("Person", "id")  # DDL path
+        db.analyze()  # maintenance path
+        after = {s.name: s.invalidations for s in db.cache_stats()}
+        assert after["cypher-plans"] > before["cypher-plans"]
+        assert after["cypher-closures"] > before["cypher-closures"]
+
     def test_sparql_engine_reports_statement_cache(self):
+        # compiled mode (the default): the warm path resolves straight
+        # to the compiled closure; parse happened exactly once
         db = RdfDatabase()
         db.store.add("sn:p1", "snb:firstName", "Alice")
         q = "SELECT ?n WHERE { ?p snb:firstName ?n }"
         db.execute(q)
         db.execute(q)
         stats = {s.name: s for s in db.cache_stats()}
+        assert stats["sparql-closures"].hits >= 1
+        assert stats["sparql-statements"].misses == 1
+
+    def test_sparql_interpreted_mode_hits_statement_cache(self):
+        db = RdfDatabase(execution_mode="interpreted")
+        db.store.add("sn:p1", "snb:firstName", "Alice")
+        q = "SELECT ?n WHERE { ?p snb:firstName ?n }"
+        db.execute(q)
+        db.execute(q)
+        stats = {s.name: s for s in db.cache_stats()}
         assert stats["sparql-statements"].hits >= 1
+        assert stats["sparql-closures"].hits == 0
 
     def test_all_facades_return_cachestats_rows(self):
         for facade in (Database("row"), GraphDatabase(), RdfDatabase()):
@@ -297,12 +335,14 @@ class TestEngineFacades:
 
 
 class TestGremlinScriptCache:
+    # the legacy script cache is an interpreted-mode concern: compiled
+    # mode subsumes it with the closure cache (tested below)
     def _server(self):
         provider = TinkerGraphProvider()
         Graph(provider).traversal().addV("person").property(
             "id", 1
         ).iterate()
-        return GremlinServer(provider)
+        return GremlinServer(provider, execution_mode="interpreted")
 
     def test_keyed_resubmit_skips_compilation(self):
         server = self._server()
@@ -334,3 +374,53 @@ class TestGremlinScriptCache:
                     cache_key="point_lookup",
                 )
             assert ledger.counters["gremlin_compile"] == 1
+
+
+class TestGremlinClosureCache:
+    def _server(self):
+        provider = TinkerGraphProvider()
+        Graph(provider).traversal().addV("person").property(
+            "id", 1
+        ).iterate()
+        return GremlinServer(provider)  # compiled by default
+
+    def test_warm_submit_skips_script_evaluation(self):
+        server = self._server()
+        build = lambda g: g.V().has("person", "id", 1).values("id")  # noqa: E731
+        with meter() as cold:
+            first = server.submit(build, cache_key="point_lookup")
+        with meter() as warm:
+            second = server.submit(build, cache_key="point_lookup")
+        assert first == second == [1]
+        assert cold.counters["gremlin_compile"] == 1
+        assert cold.counters["closure_compile"] == 1
+        assert "gremlin_compile" not in warm.counters
+        assert warm.counters["compiled_exec"] == 1
+        assert "step_eval" not in warm.counters
+        stats = {s.name: s for s in server.cache_stats()}
+        assert stats["gremlin-closures"].hits == 1
+
+    def test_uncompilable_script_falls_back_per_key(self):
+        server = self._server()
+        build = lambda g: g.addV("person").property("id", 9)  # noqa: E731
+        server.submit(build, cache_key="add_vertex:person")
+        with meter() as ledger:
+            server.submit(
+                lambda g: g.addV("person").property("id", 10),
+                cache_key="add_vertex:person",
+            )
+        # the failed compile is remembered: resubmits reuse bytecode
+        assert "closure_compile" not in ledger.counters
+        assert ledger.counters["cache_hit"] == 1
+        assert ledger.counters["step_eval"] >= 1
+
+    def test_restart_clears_compiled_closures(self):
+        server = self._server()
+        build = lambda g: g.V().has("person", "id", 1).values("id")  # noqa: E731
+        server.submit(build, cache_key="point_lookup")
+        server.crash()
+        server.restart()
+        with meter() as ledger:
+            server.submit(build, cache_key="point_lookup")
+        assert ledger.counters["gremlin_compile"] == 1
+        assert ledger.counters["closure_compile"] == 1

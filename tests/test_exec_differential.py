@@ -1,0 +1,119 @@
+"""Differential tests: interpreted vs compiled execution.
+
+Every read in the connector catalog runs twice on the *same* loaded
+instance — once through the tuple-at-a-time interpreter, once through
+the compiled/vectorized closures — and the answers must be identical.
+This is the contract that lets the engines default to ``compiled``
+while the paper harnesses pin ``interpreted``: execution mode is a
+performance knob, never a semantics knob.
+
+A second pass replays an update batch and an ANALYZE (which bump the
+closure-cache epochs and force recompilation against new statistics)
+and re-checks the whole catalog.
+"""
+
+import pytest
+
+from repro.core import SUT_KEYS, make_connector
+from repro.core.benchmark import WorkloadParams
+from repro.snb import GeneratorConfig, generate
+
+CONFIG = GeneratorConfig(scale_factor=3, scale_divisor=8000, seed=13)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate(CONFIG)
+
+
+@pytest.fixture(scope="module")
+def loaded(dataset):
+    connectors = {}
+    for key in SUT_KEYS:
+        connector = make_connector(key)
+        connector.load(dataset)
+        connectors[key] = connector
+    return connectors
+
+
+@pytest.fixture(scope="module")
+def params(dataset):
+    return WorkloadParams.curate(dataset, count=4, seed=3)
+
+
+def _catalog(params):
+    """Every read operation in the catalog with curated arguments."""
+    ops = []
+    for pid in params.person_ids:
+        ops.append(("point_lookup", (pid,)))
+        ops.append(("one_hop", (pid,)))
+        ops.append(("two_hop", (pid,)))
+        ops.append(("person_profile", (pid,)))
+        ops.append(("person_recent_posts", (pid, 10)))
+        ops.append(("person_friends", (pid,)))
+        ops.append(("complex_two_hop", (pid, 20)))
+        ops.append(("friends_recent_posts", (pid, 10)))
+    for pair in params.path_pairs:
+        ops.append(("shortest_path", pair))
+    for mid in params.message_ids:
+        ops.append(("message_content", (mid,)))
+        ops.append(("message_creator", (mid,)))
+        ops.append(("message_forum", (mid,)))
+        ops.append(("message_replies", (mid,)))
+    return ops
+
+
+def _normalize(value):
+    """Order-insensitive comparison form (sorted, hashable elements)."""
+    if isinstance(value, list):
+        return sorted(
+            tuple(v) if isinstance(v, (list, tuple)) else v for v in value
+        )
+    return value
+
+
+def _assert_modes_agree(connector, key, ops):
+    for op, args in ops:
+        connector.set_execution_mode("interpreted")
+        interpreted = getattr(connector, op)(*args)
+        connector.set_execution_mode("compiled")
+        compiled = getattr(connector, op)(*args)
+        assert _normalize(compiled) == _normalize(interpreted), (
+            f"{key}: {op}{args} diverges between execution modes"
+        )
+
+
+@pytest.mark.parametrize("key", SUT_KEYS)
+def test_catalog_interpreted_vs_compiled(key, loaded, params):
+    _assert_modes_agree(loaded[key], key, _catalog(params))
+
+
+@pytest.mark.parametrize("key", SUT_KEYS)
+def test_catalog_agrees_after_update_batch(key, dataset, params):
+    """An update batch + ANALYZE forces recompilation: the closures are
+    rebuilt against fresh statistics and must still match the
+    interpreter on the grown graph."""
+    connector = make_connector(key)
+    connector.load(dataset)
+    ops = _catalog(params)
+    _assert_modes_agree(connector, key, ops)  # warm both caches first
+    connector.apply_update_batch(dataset.updates[:40])
+    _assert_modes_agree(connector, key, ops)
+
+
+def test_update_batch_forces_recompilation(dataset, params):
+    """The second pass above is only meaningful if the update batch
+    actually evicted compiled closures — pin that on the Cypher engine,
+    whose loader re-ANALYZEs after the batch."""
+    connector = make_connector("neo4j-cypher")
+    connector.load(dataset)
+    pid = params.person_ids[0]
+    connector.two_hop(pid)
+    before = {
+        s.name: s.invalidations for s in connector.cache_stats()
+    }
+    connector.apply_update_batch(dataset.updates[:40])
+    connector.db.analyze()
+    after = {s.name: s.invalidations for s in connector.cache_stats()}
+    assert after["cypher-closures"] > before["cypher-closures"]
+    assert after["cypher-plans"] > before["cypher-plans"]

@@ -352,6 +352,43 @@ class TestRealTree:
         assert raw, "justified findings exist (they are baselined)"
         assert all(d.code.startswith("QA8") for d in raw)
 
+    def test_qa805_sees_the_compiled_closure_caches(self):
+        """Every dialect engine owns an epoch-keyed compiled-closure
+        cache, written on compile and invalidated in lockstep with the
+        plan cache — QA805 must observe all three facts (a dropped
+        ``bump_epoch`` would otherwise serve stale closures after DDL
+        or ANALYZE without any diagnostic)."""
+        from repro.analysis.program import build_program
+        from repro.analysis.program.callgraph import default_sources
+
+        program = build_program(default_sources())
+        owners = {
+            ("repro.graphdb.engine", "GraphDatabase"),
+            ("repro.relational.engine", "Database"),
+            ("repro.rdf.engine", "RdfDatabase"),
+            ("repro.tinkerpop.server", "GremlinServer"),
+        }
+        for module, cls in sorted(owners):
+            defined = written = invalidated = False
+            for summary in program.summaries.values():
+                info = summary.info
+                if (info.module, info.class_name) != (module, cls):
+                    continue
+                if (
+                    summary.cache_defs.get("_closure_cache")
+                    == "EpochKeyedCache"
+                ):
+                    defined = True
+                if "_closure_cache" in summary.cache_writes:
+                    written = True
+                if "_closure_cache" in summary.cache_invalidations:
+                    invalidated = True
+            assert defined, f"{module}:{cls} closure cache not tracked"
+            assert written, f"{module}:{cls} closure-cache write unseen"
+            assert invalidated, (
+                f"{module}:{cls} has no closure-cache invalidation path"
+            )
+
 
 # -- CLI: gate + JSON schema ---------------------------------------------
 
