@@ -1,0 +1,156 @@
+"""Cluster smoke bench: scatter/gather scaling + bounded replica staleness.
+
+Two measurements over the sharded deployment (``repro.cluster``):
+
+* **read-mix scaling** — the paper's interactive read mix (point lookups,
+  one-hop, recent posts, friends' recent posts, two-hop) run open-loop
+  against 1-shard and 4-shard clusters of the same backend.  Pods work
+  concurrently, so sustained throughput is ``ops / max(per-pod busy
+  time)``: point reads hash-distribute across shards and fan-out reads
+  split by friends' home shards, so the 4-shard deployment must clear
+  **at least 3x** the single-shard throughput (the tentpole acceptance
+  bar; the gap to ideal 4x is hash skew plus the coordinator's
+  scatter overhead).
+* **bounded staleness** — CDC-fed replicas accumulate measurable lag
+  while the update stream runs, a replica-preference read drains its
+  serving replica to within the staleness budget before answering, and
+  a full sync returns every replica to lag zero.
+
+Results land in ``BENCH_cluster.json`` at the repo root (the CI
+perf-smoke artifact).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import ClusterConnector, shard_of
+from repro.core.benchmark import WorkloadParams
+
+from conftest import SCALE_DIVISOR, banner
+
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_cluster.json"
+BACKEND = "postgres-sql"
+#: the tentpole acceptance bar: 4 shards vs 1 on the read mix
+SCALING_TARGET = 3.0
+STALENESS_BUDGET = 8
+UPDATE_EVENTS = 300
+
+_RESULTS: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="module")
+def mix_pids(sf3_dataset):
+    return WorkloadParams.curate(sf3_dataset, count=12, seed=7).person_ids
+
+
+def _run_mix(cluster: ClusterConnector, pids) -> int:
+    """One pass of the interactive read mix; returns the op count."""
+    ops = 0
+    for pid in pids:
+        cluster.point_lookup(pid)
+        cluster.one_hop(pid)
+        cluster.person_recent_posts(pid, 10)
+        cluster.friends_recent_posts(pid, 10)
+        cluster.two_hop(pid)
+        ops += 5
+    return ops
+
+
+def _throughput(shards: int, dataset, pids) -> dict:
+    cluster = ClusterConnector(BACKEND, shards=shards)
+    cluster.load(dataset)
+    cluster.scatter.reset_busy()
+    ops = _run_mix(cluster, pids)
+    busy = cluster.scatter.busy_us
+    critical_us = cluster.scatter.max_busy_us()
+    return {
+        "shards": shards,
+        "ops": ops,
+        "critical_path_ms": round(critical_us / 1000.0, 4),
+        "total_pod_work_ms": round(sum(busy.values()) / 1000.0, 4),
+        "pod_busy_ms": {
+            str(pod): round(us / 1000.0, 4)
+            for pod, us in sorted(busy.items())
+        },
+        "throughput_ops_per_s": round(ops / (critical_us / 1e6), 1),
+    }
+
+
+def test_read_mix_scaling(sf3_dataset, mix_pids):
+    single = _throughput(1, sf3_dataset, mix_pids)
+    sharded = _throughput(4, sf3_dataset, mix_pids)
+    speedup = (
+        sharded["throughput_ops_per_s"] / single["throughput_ops_per_s"]
+    )
+    _RESULTS["read_mix_scaling"] = {
+        "backend": BACKEND,
+        "1_shard": single,
+        "4_shards": sharded,
+        "speedup_4v1": round(speedup, 2),
+    }
+    # the work itself must not balloon under sharding: fan-out reads
+    # repartition the same per-friend probes, they don't duplicate them
+    assert (
+        sharded["total_pod_work_ms"] < single["total_pod_work_ms"] * 1.25
+    )
+    assert speedup >= SCALING_TARGET, (
+        f"4-shard read mix only {speedup:.2f}x a single shard "
+        f"(target {SCALING_TARGET:g}x)"
+    )
+
+
+def test_replica_staleness_bounded(sf3_dataset, mix_pids):
+    cluster = ClusterConnector(
+        BACKEND,
+        shards=4,
+        replicas=2,
+        read_preference="replica",
+        staleness_budget=STALENESS_BUDGET,
+    )
+    cluster.load(sf3_dataset)
+    events = sf3_dataset.updates[:UPDATE_EVENTS]
+    for event in events:
+        cluster.apply_update(event)
+    lag_before = cluster.max_staleness()
+    assert lag_before > STALENESS_BUDGET, "update stream built no lag"
+
+    # a replica-preference read drains its serving replica to within
+    # the budget before answering
+    pid = mix_pids[0]
+    cluster.one_hop(pid)
+    serving = (shard_of(pid, 4), 0)
+    lag_served = cluster.replica_staleness()[serving]
+    assert lag_served <= STALENESS_BUDGET
+
+    applied = cluster.sync_replicas(0)
+    assert cluster.max_staleness() == 0
+    _RESULTS["replica_staleness"] = {
+        "backend": BACKEND,
+        "shards": 4,
+        "replicas_per_shard": 2,
+        "update_events": len(events),
+        "staleness_budget_records": STALENESS_BUDGET,
+        "max_lag_before_reads": lag_before,
+        "serving_replica_lag_after_read": lag_served,
+        "events_applied_by_full_sync": applied,
+        "max_lag_after_full_sync": cluster.max_staleness(),
+    }
+
+
+def test_write_report():
+    """Runs last: persist the artifact the CI perf-smoke job uploads."""
+    assert _RESULTS, "cluster benches did not run"
+    report = {
+        "bench": "cluster",
+        "scale_factor": 3,
+        "scale_divisor": SCALE_DIVISOR,
+        "results": _RESULTS,
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(banner("Sharded scatter/gather: read-mix scaling + staleness"))
+    for name, row in _RESULTS.items():
+        print(f"{name}: {json.dumps(row)}")

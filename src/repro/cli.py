@@ -62,11 +62,12 @@ def _dataset(args: argparse.Namespace):
 def _parse_systems(value: str) -> list[str]:
     if value == "all":
         return list(SUT_KEYS)
+    known = [*SUT_KEYS, "cluster"]
     keys = [k.strip() for k in value.split(",") if k.strip()]
-    unknown = [k for k in keys if k not in SUT_KEYS]
+    unknown = [k for k in keys if k not in known]
     if unknown:
         raise SystemExit(
-            f"unknown systems {unknown}; known: {', '.join(SUT_KEYS)}"
+            f"unknown systems {unknown}; known: {', '.join(known)}"
         )
     return keys
 
@@ -186,7 +187,8 @@ def cmd_validate(args: argparse.Namespace) -> int:
 
     dataset = _dataset(args)
     systems = _parse_systems(args.systems)
-    if len(systems) < 2:
+    sharded = getattr(args, "sharded", False)
+    if len(systems) < 2 and not sharded:
         raise SystemExit("validation needs at least two systems")
     connectors = {}
     for key in systems:
@@ -201,6 +203,26 @@ def cmd_validate(args: argparse.Namespace) -> int:
             "compiled" if getattr(args, "compiled", False) else "interpreted"
         )
         connectors[key] = connector
+        if sharded and key != "cluster":
+            # pair every single-node engine with a sharded deployment of
+            # the same backend: the scatter/gather answers must be
+            # indistinguishable
+            from repro.cluster import ClusterConnector
+
+            twin = ClusterConnector(
+                backend=key,
+                shards=args.shards,
+                replicas=args.replicas,
+            )
+            twin.load(dataset)
+            if args.cached:
+                twin.enable_caching()
+            twin.set_execution_mode(
+                "compiled"
+                if getattr(args, "compiled", False)
+                else "interpreted"
+            )
+            connectors[f"sharded:{key}"] = twin
     params = WorkloadParams.curate(dataset, count=args.checks, seed=args.seed)
     reference_key = systems[0]
     mismatches = 0
@@ -225,15 +247,20 @@ def cmd_validate(args: argparse.Namespace) -> int:
         compare("point_lookup", pid)
         compare("one_hop", pid)
         compare("two_hop", pid)
+        compare("person_profile", pid)
+        compare("person_recent_posts", pid, 10)
         compare("person_friends", pid)
+        compare("complex_two_hop", pid, 20)
         compare("friends_recent_posts", pid, 10)
     for pair in params.path_pairs:
         compare("shortest_path", *pair)
     for mid in params.message_ids:
         compare("message_content", mid)
         compare("message_creator", mid)
+        compare("message_forum", mid)
+        compare("message_replies", mid)
     print(
-        f"{checks} cross-checks over {len(systems)} systems: "
+        f"{checks} cross-checks over {len(connectors)} systems: "
         f"{mismatches} mismatches"
     )
     if args.cached:
@@ -401,7 +428,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("interactive", help="Figure 3 workload")
     _add_dataset_args(p)
-    p.add_argument("--system", required=True, choices=SUT_KEYS)
+    p.add_argument(
+        "--system", required=True, choices=[*SUT_KEYS, "cluster"]
+    )
     p.add_argument("--readers", type=int, default=16)
     p.add_argument("--duration-ms", type=float, default=1000.0)
     p.set_defaults(fn=cmd_interactive)
@@ -422,6 +451,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="run every system in compiled (vectorized) execution mode "
              "instead of the classic interpreters",
     )
+    p.add_argument(
+        "--sharded", action="store_true",
+        help="additionally cross-check a sharded cluster deployment of "
+             "each selected backend against its single-node twin",
+    )
+    p.add_argument("--shards", type=int, default=3,
+                   help="shard count for --sharded twins")
+    p.add_argument("--replicas", type=int, default=0,
+                   help="read replicas per shard for --sharded twins")
     p.set_defaults(fn=cmd_validate)
 
     p = sub.add_parser(

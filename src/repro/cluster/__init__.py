@@ -1,0 +1,39 @@
+"""Horizontal sharding: scatter/gather driver + CDC-fed read replicas.
+
+The cluster layer scales the reproduction past one engine instance:
+
+* :mod:`repro.cluster.partition` — person-id hash partitioning with the
+  ghost closure that keeps every shard loadable by stock engines;
+* :mod:`repro.cluster.scatter` — concurrent fan-out with critical-path
+  cost accounting and ordered k-way gathers;
+* :mod:`repro.cluster.pods` — shard primaries tapping every write into a
+  per-shard CDC topic-partition, and lag-tracked read replicas with a
+  bounded-staleness knob;
+* :mod:`repro.cluster.connector` — the coordinator, a drop-in
+  :class:`~repro.core.connectors.base.Connector` (registry key
+  ``"cluster"``) every existing harness can drive unchanged.
+"""
+
+from repro.cluster.connector import ClusterConnector
+from repro.cluster.partition import (
+    MessageDirectory,
+    Partitioned,
+    partition_dataset,
+    shard_of,
+)
+from repro.cluster.pods import CDC_TOPIC, ReadReplica, ShardPrimary
+from repro.cluster.scatter import ScatterGather, gather_sorted, gather_union
+
+__all__ = [
+    "CDC_TOPIC",
+    "ClusterConnector",
+    "MessageDirectory",
+    "Partitioned",
+    "ReadReplica",
+    "ScatterGather",
+    "ShardPrimary",
+    "gather_sorted",
+    "gather_union",
+    "partition_dataset",
+    "shard_of",
+]

@@ -1,0 +1,192 @@
+"""Hash partitioning of an SNB dataset with reference-closed shards.
+
+Persons are partitioned by id hash (:func:`shard_of`, the same CRC the
+Kafka producer uses for keys); every other dynamic entity follows a
+person:
+
+* a **knows** edge lives on *both* endpoint home shards;
+* a **forum**'s home is its moderator's shard;
+* a **message**'s home is its creator's shard;
+* a **comment** is additionally mirrored at its parent message's home so
+  ``message_replies`` stays a single-shard read;
+* a **membership** lives on the member's shard, a **like** on the liked
+  message's home.
+
+Each shard's engine is a stock single-node engine that knows nothing
+about the cluster, and every engine's loader dereferences its foreign
+keys (Cypher resolves node objects, Gremlin edge endpoints, SQL joins
+against dimension rows).  A naive partition would hand them danglers, so
+the partitioner computes the **ghost closure**: wherever an entity is
+present, everything it references is present too — referenced persons
+(knows endpoints, moderators, creators, likers, members), the forum of
+every present post, and a present comment's full ancestor chain up to
+its root post.  Ghosts are full-fidelity copies; they are safe because
+the router only ever *reads* an entity at its home shard (the one place
+its adjacency is complete), and the update stream is insert-only so a
+ghost can never go stale.
+
+Static dimension entities (places, tags, tag classes, organisations) are
+replicated to every shard, exactly like dimension-table replication in a
+sharded RDBMS.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import replace
+
+from repro.snb.datagen import SnbDataset
+from repro.snb.schema import Comment, Post
+
+
+def shard_of(person_id: int, shards: int) -> int:
+    """Home shard of a person id (CRC32 hash, like the Kafka partitioner)."""
+    return zlib.crc32(str(person_id).encode()) % shards
+
+
+class MessageDirectory:
+    """Coordinator-side metadata: where every message lives.
+
+    Maps message id -> (home shard, creator, root post id or ``None`` for
+    posts).  The scatter/gather router consults it to turn ``message_*``
+    reads into single-shard calls, and the write path uses it to locate
+    the parent of an incoming comment.
+    """
+
+    __slots__ = ("home", "creator", "root")
+
+    def __init__(self) -> None:
+        self.home: dict[int, int] = {}
+        self.creator: dict[int, int] = {}
+        self.root: dict[int, int | None] = {}
+
+    def register_post(self, post: Post, shards: int) -> None:
+        self.home[post.id] = shard_of(post.creator, shards)
+        self.creator[post.id] = post.creator
+        self.root[post.id] = None
+
+    def register_comment(self, comment: Comment, shards: int) -> None:
+        self.home[comment.id] = shard_of(comment.creator, shards)
+        self.creator[comment.id] = comment.creator
+        self.root[comment.id] = comment.root_post
+
+
+class Partitioned:
+    """The result of :func:`partition_dataset`.
+
+    ``shards[i]`` is a reference-closed :class:`SnbDataset` loadable into
+    any stock engine; the presence sets and payload directories are the
+    coordinator state the live write path extends as the update stream
+    creates new entities (and new ghosts).
+    """
+
+    def __init__(self, count: int) -> None:
+        self.count = count
+        self.shards: list[SnbDataset] = []
+        #: per-shard presence: which entity ids exist on shard ``s``
+        self.persons_at: list[set[int]] = [set() for _ in range(count)]
+        self.forums_at: list[set[int]] = [set() for _ in range(count)]
+        self.messages_at: list[set[int]] = [set() for _ in range(count)]
+        #: full payloads by id (the coordinator's directory service)
+        self.person_payload: dict[int, object] = {}
+        self.forum_payload: dict[int, object] = {}
+        self.message_payload: dict[int, Post | Comment] = {}
+        self.directory = MessageDirectory()
+
+
+def partition_dataset(dataset: SnbDataset, shards: int) -> Partitioned:
+    """Split ``dataset`` into ``shards`` reference-closed sub-datasets."""
+    if shards < 1:
+        raise ValueError("need at least one shard")
+    part = Partitioned(shards)
+    home = lambda pid: shard_of(pid, shards)  # noqa: E731
+
+    for person in dataset.persons:
+        part.person_payload[person.id] = person
+        part.persons_at[home(person.id)].add(person.id)
+    for forum in dataset.forums:
+        part.forum_payload[forum.id] = forum
+    for post in dataset.posts:
+        part.message_payload[post.id] = post
+        part.directory.register_post(post, shards)
+    for comment in dataset.comments:
+        part.message_payload[comment.id] = comment
+        part.directory.register_comment(comment, shards)
+
+    def ensure_person(pid: int, s: int) -> None:
+        part.persons_at[s].add(pid)
+
+    def ensure_forum(fid: int, s: int) -> None:
+        if fid in part.forums_at[s]:
+            return
+        part.forums_at[s].add(fid)
+        ensure_person(part.forum_payload[fid].moderator, s)
+
+    def ensure_message(mid: int, s: int) -> None:
+        """Make a message (and its reference closure) present on ``s``."""
+        if mid in part.messages_at[s]:
+            return
+        part.messages_at[s].add(mid)
+        payload = part.message_payload[mid]
+        ensure_person(payload.creator, s)
+        if isinstance(payload, Post):
+            ensure_forum(payload.forum, s)
+        else:
+            ensure_message(payload.reply_of, s)
+            ensure_message(payload.root_post, s)
+
+    # knows: both endpoint homes, ghosting the remote endpoint
+    knows_at: list[list] = [[] for _ in range(shards)]
+    for knows in dataset.knows:
+        for s in {home(knows.person1), home(knows.person2)}:
+            knows_at[s].append(knows)
+            ensure_person(knows.person1, s)
+            ensure_person(knows.person2, s)
+
+    for forum in dataset.forums:
+        ensure_forum(forum.id, home(forum.moderator))
+
+    memberships_at: list[list] = [[] for _ in range(shards)]
+    for m in dataset.memberships:
+        s = home(m.person)
+        memberships_at[s].append(m)
+        ensure_person(m.person, s)
+        ensure_forum(m.forum, s)
+
+    for post in dataset.posts:
+        ensure_message(post.id, home(post.creator))
+    for comment in dataset.comments:
+        # home (creator's shard) + mirror at the parent's home, so
+        # message_replies(parent) is answered entirely at that home
+        ensure_message(comment.id, home(comment.creator))
+        ensure_message(comment.id, part.directory.home[comment.reply_of])
+
+    likes_at: list[list] = [[] for _ in range(shards)]
+    for like in dataset.likes:
+        s = part.directory.home[like.message]
+        likes_at[s].append(like)
+        ensure_person(like.person, s)
+
+    for s in range(shards):
+        part.shards.append(
+            replace(
+                dataset,
+                persons=[
+                    p for p in dataset.persons if p.id in part.persons_at[s]
+                ],
+                knows=knows_at[s],
+                forums=[
+                    f for f in dataset.forums if f.id in part.forums_at[s]
+                ],
+                memberships=memberships_at[s],
+                posts=[
+                    p for p in dataset.posts if p.id in part.messages_at[s]
+                ],
+                comments=[
+                    c for c in dataset.comments if c.id in part.messages_at[s]
+                ],
+                likes=likes_at[s],
+                updates=[],  # routed live by the cluster driver
+            )
+        )
+    return part

@@ -1,0 +1,87 @@
+"""Scatter/gather: fan sub-operations out to pods, merge on the way back.
+
+The cost story is the point.  Each pod's sub-operation runs under an
+:func:`repro.simclock.ledger.isolated` ledger, so its engine charges land
+on that pod alone; the coordinator then charges the *ambient* ledgers one
+``shard_rtt`` for the wave, one ``shard_msg`` per contacted pod, and
+``scatter_wait_us`` units equal to the **slowest** pod's simulated cost —
+the critical path.  That max-not-sum accounting is what makes N shards
+parallel hardware instead of N-fold work, while the per-pod ``busy_us``
+totals let the bench compute open-loop cluster throughput as
+``ops / max(pod busy time)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Hashable, Iterable, Mapping, Sequence
+from typing import Any, TypeVar
+
+from repro.simclock.costmodel import CostModel
+from repro.simclock.ledger import charge, isolated
+
+T = TypeVar("T")
+
+
+class ScatterGather:
+    """Executes scatter waves and accounts pod busy time."""
+
+    def __init__(self, model: CostModel | None = None) -> None:
+        self.model = model or CostModel()
+        #: pod key -> accumulated simulated busy microseconds
+        self.busy_us: dict[Hashable, float] = {}
+        self.waves = 0
+
+    def run(
+        self, calls: Mapping[Hashable, Callable[[], T]]
+    ) -> dict[Hashable, T]:
+        """One wave: run every pod's sub-call, charge the critical path."""
+        results: dict[Hashable, T] = {}
+        slowest = 0.0
+        for pod, call in calls.items():
+            charge("shard_msg")
+            with isolated() as ledger:
+                results[pod] = call()
+            us = ledger.cost_us(self.model)
+            self.busy_us[pod] = self.busy_us.get(pod, 0.0) + us
+            slowest = max(slowest, us)
+        charge("shard_rtt")
+        charge("scatter_wait_us", slowest)
+        self.waves += 1
+        return results
+
+    def max_busy_us(self) -> float:
+        """The busiest pod's accumulated time (open-loop makespan)."""
+        return max(self.busy_us.values(), default=0.0)
+
+    def reset_busy(self) -> None:
+        self.busy_us.clear()
+        self.waves = 0
+
+
+def gather_sorted(
+    runs: Iterable[Sequence[T]],
+    *,
+    key: Callable[[T], Any],
+    limit: int | None = None,
+) -> list[T]:
+    """Ordered k-way merge of per-shard sorted runs (heap, not re-sort)."""
+    out: list[T] = []
+    for row in heapq.merge(*runs, key=key):
+        out.append(row)
+        if limit is not None and len(out) >= limit:
+            break
+    charge("gather_item", len(out))
+    return out
+
+
+def gather_union(
+    runs: Iterable[Iterable[int]], *, exclude: Iterable[int] = ()
+) -> list[int]:
+    """Sorted union of per-shard id sets (two-hop style merges)."""
+    union: set[int] = set()
+    for run in runs:
+        union.update(run)
+    union.difference_update(exclude)
+    charge("gather_item", len(union))
+    return sorted(union)

@@ -45,7 +45,9 @@ _REGISTRY: dict[str, type[Connector]] = {
     )
 }
 
-#: all registry keys in the paper's table order
+#: all registry keys in the paper's table order; the "cluster" key is
+#: deliberately absent — the paper's tables compare single-node systems,
+#: and the sharded deployment is opted into per harness
 SUT_KEYS = [
     "neo4j-cypher",
     "neo4j-gremlin",
@@ -58,18 +60,42 @@ SUT_KEYS = [
 ]
 
 
+def _register_cluster() -> None:
+    # registered lazily: the cluster coordinator composes the single-node
+    # classes (its load() instantiates per-shard engines through this
+    # registry), so importing it eagerly here would be a cycle whenever
+    # repro.cluster itself is imported first
+    if "cluster" not in _REGISTRY:
+        from repro.cluster.connector import ClusterConnector
+
+        _REGISTRY[ClusterConnector.key] = ClusterConnector
+
+
 def make_connector(key: str) -> Connector:
     """Instantiate a fresh (empty) connector by registry key."""
+    if key == "cluster":
+        _register_cluster()
     try:
         cls = _REGISTRY[key]
     except KeyError:
         raise KeyError(
-            f"unknown SUT {key!r}; known: {sorted(_REGISTRY)}"
+            f"unknown SUT {key!r}; known: {sorted({*_REGISTRY, 'cluster'})}"
         ) from None
     return cls()
 
 
+def __getattr__(name: str):  # PEP 562: lazy re-export, avoids the cycle
+    if name == "ClusterConnector":
+        from repro.cluster.connector import ClusterConnector
+
+        return ClusterConnector
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
+
 __all__ = [
+    "ClusterConnector",
     "Connector",
     "OperationFailed",
     "make_connector",

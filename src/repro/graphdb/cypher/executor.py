@@ -15,6 +15,7 @@ paper's point-lookup latencies.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass
 from typing import Any
 
@@ -232,7 +233,7 @@ class CypherExecutor:
 
     def _match_patterns(
         self, row: dict, patterns: list[ast.PathPattern], params: dict
-    ):
+    ) -> Iterator[dict]:
         if not patterns:
             yield row
             return
@@ -240,7 +241,9 @@ class CypherExecutor:
         for bound in self._match_one(row, head, params):
             yield from self._match_patterns(bound, rest, params)
 
-    def _match_one(self, row: dict, pattern: ast.PathPattern, params: dict):
+    def _match_one(
+        self, row: dict, pattern: ast.PathPattern, params: dict
+    ) -> Iterator[dict]:
         if pattern.shortest:
             yield from self._match_shortest(row, pattern, params)
             return
@@ -264,10 +267,12 @@ class CypherExecutor:
         anchor_id: int,
         used: frozenset,
         params: dict,
-    ):
+    ) -> Iterator[dict]:
         """Expand right of the anchor, then left, backtracking-style."""
 
-        def go_right(row: dict, pos: int, node_id: int, used: frozenset):
+        def go_right(
+            row: dict, pos: int, node_id: int, used: frozenset
+        ) -> Iterator[dict]:
             if pos == len(rels):
                 yield from go_left(row, anchor, anchor_node_of(row), used)
                 return
@@ -281,7 +286,9 @@ class CypherExecutor:
         def anchor_node_of(row: dict) -> int:
             return anchor_id
 
-        def go_left(row: dict, pos: int, node_id: int, used: frozenset):
+        def go_left(
+            row: dict, pos: int, node_id: int, used: frozenset
+        ) -> Iterator[dict]:
             if pos == 0:
                 yield row
                 return
@@ -303,7 +310,7 @@ class CypherExecutor:
         direction: str,
         used: frozenset,
         params: dict,
-    ):
+    ) -> Iterator[tuple[dict, frozenset, int]]:
         """One hop (or var-length expansion) from ``node_id``."""
         rel_type = rel.types[0] if rel.types else None
         store_dir = _TO_DIRECTION[direction]
@@ -363,7 +370,7 @@ class CypherExecutor:
 
     def _match_shortest(
         self, row: dict, pattern: ast.PathPattern, params: dict
-    ):
+    ) -> Iterator[dict]:
         nodes = pattern.nodes
         rels = pattern.rels
         if len(nodes) != 2 or len(rels) != 1:
@@ -816,7 +823,7 @@ class CypherExecutor:
         aliases: list[str],
         params: dict,
     ) -> list[tuple]:
-        def key_for(order_item: ast.OrderItem):
+        def key_for(order_item: ast.OrderItem) -> Callable[[tuple], Any]:
             expr = order_item.expr
             if isinstance(expr, ast.VarRef) and expr.name in aliases:
                 idx = aliases.index(expr.name)

@@ -88,6 +88,16 @@ DEFAULT_WEIGHTS: dict[str, float] = {
     "backend_rtt": 260.0,     # TitanDB -> Cassandra thrift round trip
     "serialize_item": 6.0,    # GraphSON-serialize one element
     "result_row": 0.4,        # ship one row on a native protocol
+    # --- cluster scatter / gather ---------------------------------------------
+    "shard_rtt": 95.0,        # driver -> shard round trip (same fabric as
+                              # client_rtt; one per scatter *wave*, the
+                              # fan-out requests overlap on the wire)
+    "shard_msg": 5.0,         # marshal one sub-request/sub-reply of a
+                              # scatter wave (per shard contacted)
+    "scatter_wait_us": 1.0,   # one simulated microsecond waiting on the
+                              # slowest shard of a wave (critical path;
+                              # units are the max of the per-shard costs)
+    "gather_item": 0.02,      # merge one row through the k-way gather
     # --- durability / concurrency --------------------------------------------
     "wal_append": 0.9,        # append one WAL record (buffered)
     "wal_fsync": 300.0,       # force the WAL (group-commit amortized)

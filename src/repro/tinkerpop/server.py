@@ -90,6 +90,20 @@ class GremlinServer:
         """Opt into caching compiled scripts for keyed submissions."""
         self._script_cache = EpochKeyedCache(capacity, name="gremlin-scripts")
 
+    def share_closure_cache(self, donor: "GremlinServer") -> None:
+        """Adopt ``donor``'s bytecode/closure caches (pods of one shard).
+
+        The closure cache maps script keys to compile *verdicts* — no
+        graph data — so pods serving replicas of the same shard can share
+        one cache object and a freshly-started replica warms up without
+        recompiling scripts the primary already compiled.  The sharing is
+        symmetric thereafter; a :meth:`restart` of any sharing pod bumps
+        the shared epoch (conservatively flushing the whole fleet).
+        """
+        self._closure_cache = donor._closure_cache
+        if donor._script_cache is not None:
+            self._script_cache = donor._script_cache
+
     def set_execution_mode(self, mode: str) -> None:
         """Switch between ``interpreted`` and ``compiled`` evaluation."""
         if mode not in ("interpreted", "compiled"):
