@@ -23,8 +23,18 @@ QA403    undeclared insert-footprint delta (a dialect's insert touches
 QA501    lock-order cycle across call sites
 QA502    multi-lock acquisition out of sorted resource order
 QA601    unsynchronized shared access (two workers touch one resource
-         with disjoint locksets and no happens-before edge)
+         with disjoint locksets and no happens-before edge; covers
+         write/write and unprotected read/write pairs — snapshot-mode
+         reads are immune by construction)
 QA602    lock held across a commit boundary (or never released)
+QA603    lost update (two overlapping committed transactions both
+         read-then-write one resource; the second write clobbers the
+         first without having observed it)
+QA604    non-repeatable read (one transaction reads a resource twice
+         without snapshot protection and a foreign committed write
+         lands in between)
+QA605    write skew (two overlapping committed transactions each read
+         what the other writes; serial in neither order)
 QA701    dangling edge / foreign-key endpoint
 QA702    index entry disagrees with the heap / store row
 QA703    cache entry whose dependency set no longer matches truth
@@ -83,6 +93,9 @@ CODES: dict[str, tuple[str, Severity]] = {
     "QA502": ("unsorted-lock-acquisition", Severity.WARNING),
     "QA601": ("unsynchronized-shared-access", Severity.ERROR),
     "QA602": ("lock-across-commit", Severity.ERROR),
+    "QA603": ("lost-update", Severity.ERROR),
+    "QA604": ("non-repeatable-read", Severity.ERROR),
+    "QA605": ("write-skew", Severity.ERROR),
     "QA701": ("dangling-endpoint", Severity.ERROR),
     "QA702": ("index-store-mismatch", Severity.ERROR),
     "QA703": ("stale-cache-dependency", Severity.ERROR),

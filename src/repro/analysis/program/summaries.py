@@ -25,7 +25,9 @@ from repro.analysis.program.callgraph import CallGraph, FunctionInfo
 ACQUIRE_ATTRS = {"acquire", "acquire_many"}
 
 #: a call to any of these ends the held-lock region of a transaction
-RELEASE_NAMES = {"commit", "abort", "release_all"}
+#: ("release" is the snapshot-release verb: the timestamp oracle pairs
+#: begin()/release() the way the lock manager pairs acquire/release_all)
+RELEASE_NAMES = {"commit", "abort", "release_all", "release"}
 
 #: context-manager factories that release on exit (safe `with` blocks)
 RELEASING_MANAGERS = {"transaction"}
@@ -443,6 +445,6 @@ def _contains_release_call(statements: list[ast.stmt]) -> bool:
         for node in ast.walk(stmt):
             if isinstance(node, ast.Call):
                 name = _callee_name(node)
-                if name in ("abort", "release_all"):
+                if name in ("abort", "release_all", "release"):
                     return True
     return False

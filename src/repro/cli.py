@@ -181,6 +181,72 @@ def cmd_load(args: argparse.Namespace) -> int:
     return 0
 
 
+def _mvcc_audit(
+    connectors: dict,
+    held_ops: list,
+    update_events: list,
+    reference_key: str,
+) -> tuple[int, int]:
+    """The ``validate --mvcc`` snapshot-stability audit.
+
+    One snapshot is held open across the whole audit: every system's
+    answers under it must be identical before and after the update
+    stream lands (writers never disturb a reader's view), and once the
+    snapshot is released every system must agree on the new current
+    state.  Returns ``(checks, mismatches)``.
+    """
+    from repro.txn import oracle
+
+    checks = 0
+    mismatches = 0
+    for connector in connectors.values():
+        connector.set_isolation_level("snapshot")
+
+    def answers(key: str) -> list:
+        return [
+            _normalize(getattr(connectors[key], op)(*op_args))
+            for op, op_args in held_ops
+        ]
+
+    snapshot = oracle.ORACLE.begin()
+    try:
+        with oracle.reading(snapshot):
+            before = {key: answers(key) for key in connectors}
+        for key, connector in connectors.items():
+            for event in update_events:
+                connector.apply_update(event)
+        with oracle.reading(snapshot):
+            for key in connectors:
+                for (op, op_args), old, new in zip(
+                    held_ops, before[key], answers(key)
+                ):
+                    checks += 1
+                    if old != new:
+                        mismatches += 1
+                        print(
+                            f"MVCC DRIFT {op}{op_args}: {key} held "
+                            f"snapshot changed under concurrent writes"
+                        )
+    finally:
+        oracle.ORACLE.release(snapshot)
+
+    # released: every system serves the same post-update current state
+    current = {key: answers(key) for key in connectors}
+    reference = current[reference_key]
+    for key, rows in current.items():
+        for (op, op_args), answer, expected in zip(
+            held_ops, rows, reference
+        ):
+            checks += 1
+            if answer != expected:
+                mismatches += 1
+                print(
+                    f"MVCC MISMATCH {op}{op_args}: {key} disagrees "
+                    f"with {reference_key} after snapshot release"
+                )
+    return checks, mismatches
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     """Load every chosen system and cross-check their answers."""
     from repro.core.benchmark import WorkloadParams
@@ -259,6 +325,28 @@ def cmd_validate(args: argparse.Namespace) -> int:
         compare("message_creator", mid)
         compare("message_forum", mid)
         compare("message_replies", mid)
+    if getattr(args, "mvcc", False):
+        held_ops = [
+            (op, (pid,))
+            for pid in params.person_ids
+            for op in (
+                "person_profile",
+                "one_hop",
+                "person_friends",
+            )
+        ] + [("person_recent_posts", (pid, 10)) for pid in params.person_ids]
+        m_checks, m_mismatches = _mvcc_audit(
+            connectors,
+            held_ops,
+            dataset.updates[: args.mvcc_updates],
+            reference_key,
+        )
+        checks += m_checks
+        mismatches += m_mismatches
+        print(
+            f"mvcc audit: {m_checks} held-snapshot + post-release "
+            f"checks, {m_mismatches} mismatches"
+        )
     print(
         f"{checks} cross-checks over {len(connectors)} systems: "
         f"{mismatches} mismatches"
@@ -460,6 +548,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shard count for --sharded twins")
     p.add_argument("--replicas", type=int, default=0,
                    help="read replicas per shard for --sharded twins")
+    p.add_argument(
+        "--mvcc", action="store_true",
+        help="additionally audit snapshot isolation: hold a snapshot "
+             "open on every system, apply the update stream, and "
+             "require held reads to be byte-stable and released reads "
+             "to agree across systems",
+    )
+    p.add_argument("--mvcc-updates", type=int, default=25,
+                   help="update events applied during the --mvcc audit")
     p.set_defaults(fn=cmd_validate)
 
     p = sub.add_parser(

@@ -59,6 +59,7 @@ from repro.snb.schema import (
     UpdateEvent,
     UpdateKind,
 )
+from repro.txn import oracle
 from repro.txn.locks import LockManager, LockMode
 
 T = TypeVar("T")
@@ -239,7 +240,9 @@ class ClusterConnector(Connector):
         stale_ok = self._read_preference == "replica" and (
             self._staleness_budget > 0
         )
-        if cache is None or stale_ok:
+        if cache is None or stale_ok or oracle.stale_reads():
+            # a held MVCC snapshot older than the latest write must not
+            # see (or poison) answers computed from newer shard state
             return compute()
         shards = (
             range(self.shard_count) if footprint is None else footprint
@@ -685,6 +688,19 @@ class ClusterConnector(Connector):
         for pods in self.replicas:
             for replica in pods:
                 replica.engine.set_execution_mode(mode)
+
+    def set_isolation_level(self, level: str) -> None:
+        """Pin the isolation level on every shard engine, replicas too.
+
+        Replica reads then compose bounded staleness (which CDC offset
+        the pod has applied) with snapshot isolation (which versions of
+        that applied state a read observes).
+        """
+        for primary in self.primaries:
+            primary.engine.set_isolation_level(level)
+        for pods in self.replicas:
+            for replica in pods:
+                replica.engine.set_isolation_level(level)
 
     def enable_caching(self) -> None:
         self._cache = LRUCache(4096, name="cluster-coordinator")

@@ -227,6 +227,18 @@ class Connector(ABC):
             f"{type(self).__name__} does not expose an execution mode"
         )
 
+    def set_isolation_level(self, level: str) -> None:
+        """Switch the underlying engine between ``snapshot`` (readers run
+        against an immutable MVCC view and never take or wait on locks)
+        and ``read-committed`` (reads see the latest committed state; the
+        concurrency harness serializes them against writers).
+
+        Engines default to ``snapshot``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose an isolation level"
+        )
+
     # -- caching hooks (overridden where relevant) -----------------------------------------
 
     def enable_caching(self) -> None:

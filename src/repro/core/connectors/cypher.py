@@ -528,6 +528,9 @@ class CypherConnector(Connector):
     def set_execution_mode(self, mode: str) -> None:
         self.db.set_execution_mode(mode)
 
+    def set_isolation_level(self, level: str) -> None:
+        self.db.set_isolation_level(level)
+
     def enable_caching(self) -> None:
         """Turn on the store's adjacency/neighborhood cache."""
         self.db.enable_adjacency_cache()

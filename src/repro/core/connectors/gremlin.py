@@ -681,6 +681,9 @@ class GremlinConnector(Connector):
     def set_execution_mode(self, mode: str) -> None:
         self.server.set_execution_mode(mode)
 
+    def set_isolation_level(self, level: str) -> None:
+        self.server.set_isolation_level(level)
+
     def enable_caching(self) -> None:
         """Turn on the Gremlin Server's script/bytecode cache."""
         self.server.enable_script_cache()
@@ -885,6 +888,12 @@ class SqlgConnector(GremlinConnector):
         ]:
             provider.define_edge_label(edge_label, props)
         return provider
+
+    def set_isolation_level(self, level: str) -> None:
+        # the snapshot is taken at the server, but the backing relational
+        # engine keeps its own default for direct SQL entry points
+        self.server.set_isolation_level(level)
+        self.provider.db.set_isolation_level(level)
 
     def sanitize_targets(self) -> dict[str, object]:
         return {"sqlg": self.provider.db}

@@ -532,5 +532,8 @@ class VirtuosoSparqlConnector(Connector):
     def set_execution_mode(self, mode: str) -> None:
         self.db.set_execution_mode(mode)
 
+    def set_isolation_level(self, level: str) -> None:
+        self.db.set_isolation_level(level)
+
     def cache_stats(self) -> list:
         return self.db.cache_stats()

@@ -53,6 +53,9 @@ class InteractiveConfig:
     cores: int = 32
     seed: int = 7
     mix: list[tuple[str, int]] | None = None
+    #: ``snapshot`` (MVCC: readers never take the read/write latch) or
+    #: ``read-committed`` (writers exclude readers while applying)
+    isolation_level: str = "snapshot"
     checkpoint_interval_ms: float = 500.0
     checkpoint_stall_us_per_record: float = 400.0
     max_update_events: int | None = None
@@ -74,6 +77,10 @@ class InteractiveResult:
     read_failures: int = 0
     server_crashed: bool = False
     updates_applied: int = 0
+    #: time readers spent blocked on the read/write latch; zero by
+    #: construction under snapshot isolation (readers never take it)
+    reader_lock_waits: int = 0
+    reader_lock_wait_us: float = 0.0
 
     @property
     def read_throughput(self) -> float:
@@ -140,6 +147,16 @@ class InteractiveWorkloadRunner:
         if "titan-b-writer" in connector.write_resources:
             store_latch = Resource(capacity=1, name="bdb-latch")
         checkpoint_lock = Resource(capacity=1, name="wal-lock")
+        # read-committed: writers exclude readers for the duration of
+        # each update transaction (the writer drains every unit of the
+        # latch).  Snapshot isolation removes the latch entirely —
+        # readers run against immutable versions and never wait.
+        connector.set_isolation_level(config.isolation_level)
+        rw_latch = None
+        if config.isolation_level == "read-committed":
+            rw_latch = Resource(
+                capacity=max(1, config.readers), name="rw-latch"
+            )
 
         params = WorkloadParams.curate(self.dataset, seed=config.seed)
         mix = QueryMix(params, mix=config.mix, seed=config.seed)
@@ -171,6 +188,13 @@ class InteractiveWorkloadRunner:
                     yield Acquire(server_pool)
                 if store_latch is not None:
                     yield Acquire(store_latch)
+                if rw_latch is not None:
+                    queued_us = sim.now_us
+                    yield Acquire(rw_latch)
+                    waited_us = sim.now_us - queued_us
+                    if waited_us > 0.0:
+                        result.reader_lock_waits += 1
+                        result.reader_lock_wait_us += waited_us
                 yield Acquire(cpu)
                 cost_us = execute(
                     lambda: read_op.execute(connector),
@@ -186,10 +210,23 @@ class InteractiveWorkloadRunner:
                     )
                 yield Timeout(cost_us)
                 yield Release(cpu)
+                if rw_latch is not None:
+                    yield Release(rw_latch)
                 if store_latch is not None:
                     yield Release(store_latch)
                 if is_gremlin:
                     yield Release(server_pool)
+
+        def exclude_readers():
+            """Writer side of the read-committed latch: every unit."""
+            assert rw_latch is not None
+            for _ in range(rw_latch.capacity):
+                yield Acquire(rw_latch)
+
+        def readmit_readers():
+            assert rw_latch is not None
+            for _ in range(rw_latch.capacity):
+                yield Release(rw_latch)
 
         def writer_batched():
             """Batched pipeline: one group-committed txn per poll."""
@@ -209,6 +246,8 @@ class InteractiveWorkloadRunner:
                     yield Acquire(server_pool)
                 if store_latch is not None:
                     yield Acquire(store_latch)
+                if rw_latch is not None:
+                    yield from exclude_readers()
                 yield Acquire(checkpoint_lock)
                 yield Acquire(cpu)
                 cost_us = execute(
@@ -227,6 +266,8 @@ class InteractiveWorkloadRunner:
                 yield Timeout(cost_us)
                 yield Release(cpu)
                 yield Release(checkpoint_lock)
+                if rw_latch is not None:
+                    yield from readmit_readers()
                 if store_latch is not None:
                     yield Release(store_latch)
                 if is_gremlin:
@@ -252,6 +293,8 @@ class InteractiveWorkloadRunner:
                         yield Acquire(server_pool)
                     if store_latch is not None:
                         yield Acquire(store_latch)
+                    if rw_latch is not None:
+                        yield from exclude_readers()
                     yield Acquire(checkpoint_lock)
                     yield Acquire(cpu)
                     cost_us = execute(
@@ -268,6 +311,8 @@ class InteractiveWorkloadRunner:
                     yield Timeout(cost_us)
                     yield Release(cpu)
                     yield Release(checkpoint_lock)
+                    if rw_latch is not None:
+                        yield from readmit_readers()
                     if store_latch is not None:
                         yield Release(store_latch)
                     if is_gremlin:

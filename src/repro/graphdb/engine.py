@@ -21,15 +21,25 @@ from typing import Any
 
 from repro.cache import CacheStats, EpochKeyedCache
 from repro.exec.errors import CompileError
+from repro.graphdb.cypher import ast
 from repro.graphdb.cypher.executor import CypherExecutor, WriteSummary
 from repro.graphdb.cypher.parser import parse
 from repro.graphdb.store import GraphStore
 from repro.simclock.ledger import charge
 from repro.storage.wal import WriteAheadLog
+from repro.txn import oracle
 
 #: closure-cache sentinel: this statement cannot be compiled (a write,
 #: shortestPath, ...) — skip straight to the interpreter on every run
 _INTERPRET = object()
+
+
+def _is_read_only(query: Any) -> bool:
+    """Whether the parsed query carries no write clauses."""
+    return not any(
+        isinstance(clause, (ast.CreateClause, ast.SetClause))
+        for clause in query.clauses
+    )
 
 
 class GraphDatabase:
@@ -40,6 +50,7 @@ class GraphDatabase:
             raise ValueError(f"unknown execution mode: {execution_mode!r}")
         self.name = name
         self.execution_mode = execution_mode
+        self.isolation_level = "snapshot"
         self.store = GraphStore(name)
         self.wal = WriteAheadLog(f"{name}-wal")
         self.executor = CypherExecutor(self.store)
@@ -75,12 +86,20 @@ class GraphDatabase:
                     fn = _INTERPRET
                 self._closure_cache.store(cypher, fn)
             if fn is not _INTERPRET:
+                # compiled closures are read-only by construction (write
+                # clauses fall back to the interpreter), so every run
+                # gets a snapshot view
                 charge("compiled_exec")
-                rows, _summary = fn(params)
+                with oracle.read_view(self.isolation_level):
+                    rows, _summary = fn(params)
                 return rows
         charge("cypher_exec")
         query = self._parse_cached(cypher)
-        rows, summary = self.executor.run(query, params)
+        if _is_read_only(query):
+            with oracle.read_view(self.isolation_level):
+                rows, summary = self.executor.run(query, params)
+        else:
+            rows, summary = self.executor.run(query, params)
         self._log_writes(summary)
         return rows
 
@@ -98,6 +117,11 @@ class GraphDatabase:
         if mode not in ("interpreted", "compiled"):
             raise ValueError(f"unknown execution mode: {mode!r}")
         self.execution_mode = mode
+
+    def set_isolation_level(self, level: str) -> None:
+        """``snapshot`` (readers never block) or ``read-committed``."""
+        oracle.check_isolation_level(level)
+        self.isolation_level = level
 
     def _log_writes(self, summary: WriteSummary) -> None:
         writes = (

@@ -23,6 +23,8 @@ from repro.sanitizer import runtime
 from repro.simclock.ledger import charge
 from repro.stats import GraphStatistics
 from repro.storage.hashindex import HashIndex
+from repro.storage.mvcc import VersionStore
+from repro.txn import oracle
 
 NO_REL = -1
 
@@ -67,6 +69,11 @@ class GraphStore:
         # carry the node ids they were derived from, so a single edge
         # insert evicts only the neighborhoods containing an endpoint
         self._neighborhood_cache: DependencyTrackingCache | None = None
+        # version metadata keyed by node id (int) / ("rel", rel_id);
+        # deferred node deletes reclaim through _remove_physical
+        self.mvcc = VersionStore(
+            f"{name}-mvcc", on_reclaim=self._reclaim_tombstone
+        )
         self.node_count = 0
         self.rel_count = 0
 
@@ -115,7 +122,7 @@ class GraphStore:
         index = self._indexes.get((label, prop))
         if index is None:
             raise KeyError(f"no index on :{label}({prop})")
-        return index.search(value)
+        return self.mvcc.filter_visible(index.search(value))
 
     def has_index(self, label: str, prop: str) -> bool:
         return (label, prop) in self._indexes
@@ -128,6 +135,7 @@ class GraphStore:
         charge("record_write")
         node_id = len(self._nodes)
         self._nodes.append(_NodeRecord(labels=tuple(labels), props=dict(props)))
+        self.mvcc.stamp(node_id)
         self.node_count += 1
         for label in labels:
             self._label_index.setdefault(label, set()).add(node_id)
@@ -158,6 +166,7 @@ class GraphStore:
             props=dict(props or {}),
         )
         self._rels.append(record)
+        self.mvcc.stamp(("rel", rel_id))
         start_record.first_rel = rel_id
         end_record.first_rel = rel_id
         self.rel_count += 1
@@ -173,9 +182,17 @@ class GraphStore:
         if any(True for _ in self.relationships(node_id)):
             raise ValueError(f"node {node_id} still has relationships")
         charge("record_write")
-        record.deleted = True
         self.node_count -= 1
         self._invalidate_neighborhoods((node_id,))
+        if not self.mvcc.record_delete(node_id):
+            # no snapshot could still need the record: remove it now;
+            # otherwise it stays (tombstoned) until GC reclaims it
+            self._remove_physical(node_id, record)
+        if runtime.TRACE is not None:
+            runtime.TRACE.write(("node", node_id))
+
+    def _remove_physical(self, node_id: int, record: _NodeRecord) -> None:
+        record.deleted = True
         for label in record.labels:
             ids = self._label_index.get(label)
             if ids is not None:
@@ -183,12 +200,19 @@ class GraphStore:
         for (label, prop), index in self._indexes.items():
             if label in record.labels and record.props.get(prop) is not None:
                 index.delete(record.props[prop], node_id)
-        if runtime.TRACE is not None:
-            runtime.TRACE.write(("node", node_id))
+
+    def _reclaim_tombstone(self, key: Any) -> None:
+        """GC decided a deferred node delete is unobservable: finish it."""
+        if not isinstance(key, int):
+            return  # relationships are never tombstoned
+        record = self._nodes[key]
+        if not record.deleted:
+            self._remove_physical(key, record)
 
     def set_node_prop(self, node_id: int, key: str, value: Any) -> None:
         record = self._node(node_id)
         charge("record_write")
+        self.mvcc.record_update(node_id, dict(record.props))
         old = record.props.get(key)
         record.props[key] = value
         for (label, prop), index in self._indexes.items():
@@ -204,7 +228,7 @@ class GraphStore:
 
     def _node(self, node_id: int) -> _NodeRecord:
         record = self._nodes[node_id]
-        if record.deleted:
+        if record.deleted or not self.mvcc.visible(node_id):
             raise KeyError(f"node {node_id} is deleted")
         return record
 
@@ -215,13 +239,19 @@ class GraphStore:
     def node_props(self, node_id: int) -> dict[str, Any]:
         record = self._node(node_id)
         charge("record_read")
-        charge("value_cpu", len(record.props))
-        return dict(record.props)
+        if runtime.TRACE is not None:
+            runtime.TRACE.read(("node", node_id))
+        props = self.mvcc.read(node_id, record.props)
+        charge("value_cpu", len(props))
+        return dict(props)
 
     def node_prop(self, node_id: int, key: str) -> Any:
+        record = self._node(node_id)
         charge("record_read")
         charge("value_cpu")
-        return self._node(node_id).props.get(key)
+        if runtime.TRACE is not None:
+            runtime.TRACE.read(("node", node_id))
+        return self.mvcc.read(node_id, record.props).get(key)
 
     def rel_props(self, rel_id: int) -> dict[str, Any]:
         record = self._rels[rel_id]
@@ -241,7 +271,9 @@ class GraphStore:
         direction: Direction = Direction.BOTH,
     ) -> Iterator[tuple[int, int]]:
         """Yield ``(rel_id, other_node_id)`` by walking the record chain."""
-        self._node(node_id)  # existence check
+        self._node(node_id)  # existence + visibility check
+        if runtime.TRACE is not None:
+            runtime.TRACE.read(("node", node_id))
         rel_id = self._nodes[node_id].first_rel
         while rel_id != NO_REL:
             record = self._rels[rel_id]
@@ -255,8 +287,10 @@ class GraphStore:
                 next_id = record.end_next
                 is_out = False
                 other = record.start
-            if not record.deleted and (
-                rel_type is None or record.rel_type == rel_type
+            if (
+                not record.deleted
+                and (rel_type is None or record.rel_type == rel_type)
+                and self.mvcc.visible(("rel", rel_id))
             ):
                 if is_loop or (
                     direction is Direction.BOTH
@@ -291,7 +325,9 @@ class GraphStore:
         dependency is exact.
         """
         cache = self._neighborhood_cache
-        if cache is None:
+        if cache is None or oracle.stale_reads():
+            # a stale snapshot must not see (or poison) cached adjacency
+            # derived from newer state than its read timestamp
             return self.relationships(node_id, rel_type, direction)
         key = (node_id, rel_type, direction.value)
         cached = cache.get(key)
@@ -314,7 +350,9 @@ class GraphStore:
         neighbors: an edge insert at any of those nodes changes the
         two-hop frontier, and the write path invalidates by endpoint.
         """
-        cache = self._neighborhood_cache
+        cache = (
+            None if oracle.stale_reads() else self._neighborhood_cache
+        )
         key = (node_id, rel_type, direction.value, 2)
         if cache is not None:
             cached = cache.get(key)
@@ -390,7 +428,8 @@ class GraphStore:
         charge("index_probe")
         for node_id in sorted(self._label_index.get(label, ())):
             charge("record_read")
-            yield node_id
+            if self.mvcc.visible(node_id):
+                yield node_id
 
     def label_count(self, label: str) -> int:
         """Live nodes carrying ``label`` (no scan)."""
@@ -399,7 +438,7 @@ class GraphStore:
     def all_nodes(self) -> Iterator[int]:
         for node_id, record in enumerate(self._nodes):
             charge("record_read")
-            if not record.deleted:
+            if not record.deleted and self.mvcc.visible(node_id):
                 yield node_id
 
     # -- stats -----------------------------------------------------------------------

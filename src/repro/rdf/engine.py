@@ -11,6 +11,7 @@ from repro.rdf.sparql.parser import parse
 from repro.rdf.triples import TripleStore
 from repro.simclock.ledger import charge
 from repro.storage.wal import WriteAheadLog
+from repro.txn import oracle
 
 #: closure-cache sentinel: this statement cannot be compiled — skip
 #: straight to the interpreter on every run
@@ -27,6 +28,7 @@ class RdfDatabase:
             raise ValueError(f"unknown execution mode: {execution_mode!r}")
         self.name = name
         self.execution_mode = execution_mode
+        self.isolation_level = "snapshot"
         self.store = TripleStore(name)
         self.wal = WriteAheadLog(f"{name}-wal")
         self.executor = SparqlExecutor(self.store)
@@ -61,10 +63,13 @@ class RdfDatabase:
                 self._closure_cache.store(key, fn)
             if fn is not _INTERPRET:
                 charge("compiled_exec")
-                return fn(params)  # type: ignore[no-any-return, operator]
+                with oracle.read_view(self.isolation_level):
+                    # type ignores: the closure cache stores `object`
+                    return fn(params)  # type: ignore[no-any-return, operator]
         charge("sql_exec")  # the translated plan still runs as SQL
         query = self._parse_cached(sparql)
-        return self.executor.run(query, params)
+        with oracle.read_view(self.isolation_level):
+            return self.executor.run(query, params)
 
     def _parse_cached(self, sparql: str) -> Any:
         query = self._stmt_cache.get(sparql)
@@ -80,6 +85,11 @@ class RdfDatabase:
         if mode not in ("interpreted", "compiled"):
             raise ValueError(f"unknown execution mode: {mode!r}")
         self.execution_mode = mode
+
+    def set_isolation_level(self, level: str) -> None:
+        """``snapshot`` (readers never block) or ``read-committed``."""
+        oracle.check_isolation_level(level)
+        self.isolation_level = level
 
     def analyze(self) -> None:
         """Refresh triple statistics and switch to stats-based ordering."""

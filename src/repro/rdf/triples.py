@@ -9,6 +9,7 @@ from repro.sanitizer import runtime
 from repro.simclock.ledger import charge
 from repro.stats import TripleStatistics
 from repro.storage.btree import BPlusTree
+from repro.storage.mvcc import VersionStore
 
 Term = Any  # str IRIs ("sn:pers123") or literal values (int, str, bool)
 
@@ -28,6 +29,11 @@ class TripleStore:
         self._spo = BPlusTree(order=64, name=f"{name}-spo")
         self._pos = BPlusTree(order=64, name=f"{name}-pos")
         self._osp = BPlusTree(order=64, name=f"{name}-osp")
+        # version metadata keyed by the canonical id-triple; deferred
+        # removes stay in all three indexes until GC reclaims them
+        self.mvcc = VersionStore(
+            f"{name}-mvcc", on_reclaim=self._reclaim_tombstone
+        )
         self.triple_count = 0
 
     # -- term dictionary --------------------------------------------------------
@@ -55,7 +61,16 @@ class TripleStore:
         """Insert one triple; returns False when it already existed."""
         s_id, p_id, o_id = self.intern(s), self.intern(p), self.intern(o)
         if self._exists(s_id, p_id, o_id):
-            return False
+            if not self.mvcc.record_recreate((s_id, p_id, o_id)):
+                return False
+            # physically still indexed (its remove was deferred): the
+            # re-create is pure metadata, old snapshots keep the gap
+            charge("page_write")
+            self.triple_count += 1
+            if runtime.TRACE is not None:
+                runtime.TRACE.write(("rdf-subject", s))
+            return True
+        self.mvcc.stamp((s_id, p_id, o_id))
         self._spo.insert((s_id, p_id, o_id), True)
         self._pos.insert((p_id, o_id, s_id), True)
         self._osp.insert((o_id, s_id, p_id), True)
@@ -73,17 +88,28 @@ class TripleStore:
         if None in ids:
             return False
         s_id, p_id, o_id = ids
-        if not self._exists(s_id, p_id, o_id):
+        key = (s_id, p_id, o_id)
+        if not self._exists(s_id, p_id, o_id) or not self.mvcc.visible(key):
             return False
-        self._spo.delete((s_id, p_id, o_id))
-        self._pos.delete((p_id, o_id, s_id))
-        self._osp.delete((o_id, s_id, p_id))
+        if not self.mvcc.record_delete(key):
+            self._delete_physical(key)
         # removal maintains the same three covering indexes as add
         charge("page_write")
         self.triple_count -= 1
         if runtime.TRACE is not None:
             runtime.TRACE.write(("rdf-subject", s))
         return True
+
+    def _delete_physical(self, key: tuple[int, int, int]) -> None:
+        s_id, p_id, o_id = key
+        self._spo.delete((s_id, p_id, o_id))
+        self._pos.delete((p_id, o_id, s_id))
+        self._osp.delete((o_id, s_id, p_id))
+
+    def _reclaim_tombstone(self, key: Any) -> None:
+        """GC decided a deferred remove is unobservable: finish it."""
+        if self._exists(*key):
+            self._delete_physical(key)
 
     def _exists(self, s_id: int, p_id: int, o_id: int) -> bool:
         return bool(self._spo.search((s_id, p_id, o_id)))
@@ -96,7 +122,22 @@ class TripleStore:
         p_id: int | None,
         o_id: int | None,
     ) -> Iterator[tuple[int, int, int]]:
-        """All triples matching the bound positions (None = wildcard).
+        """All triples matching the bound positions (None = wildcard),
+        filtered by the current view's visibility rule."""
+        trace = runtime.TRACE
+        for triple in self._match_ids_raw(s_id, p_id, o_id):
+            if self.mvcc.visible(triple):
+                if trace is not None:
+                    trace.read(("rdf-subject", self._id_to_term[triple[0]]))
+                yield triple
+
+    def _match_ids_raw(
+        self,
+        s_id: int | None,
+        p_id: int | None,
+        o_id: int | None,
+    ) -> Iterator[tuple[int, int, int]]:
+        """All physically stored triples matching the bound positions.
 
         Picks the covering index with the longest bound prefix, exactly as
         a triple-table query plan would.

@@ -36,6 +36,7 @@ from repro.relational.table import Table, column_type_from_sql
 from repro.simclock.ledger import charge
 from repro.stats import SqlStatistics, collect_sql_statistics
 from repro.storage.wal import WriteAheadLog
+from repro.txn import oracle
 from repro.txn.locks import LockMode
 from repro.txn.manager import Transaction, TransactionManager
 
@@ -57,6 +58,10 @@ class Database:
             raise ValueError(f"unknown execution mode: {execution_mode!r}")
         self.name = name
         self.execution_mode = execution_mode
+        #: read statements run under per-statement MVCC snapshots by
+        #: default; "read-committed" skips versioning and sees the
+        #: latest committed state
+        self.isolation_level = "snapshot"
         self.wal = WriteAheadLog(f"{name}-wal")
         self.catalog = Catalog(
             storage, buffer_capacity=buffer_capacity, wal=self.wal
@@ -151,6 +156,10 @@ class Database:
             raise ValueError(f"unknown execution mode: {mode!r}")
         self.execution_mode = mode
 
+    def set_isolation_level(self, level: str) -> None:
+        """Choose the read isolation: ``snapshot`` or ``read-committed``."""
+        self.isolation_level = oracle.check_isolation_level(level)
+
     def query(self, sql: str, params: Sequence[Any] = ()) -> list[tuple]:
         """Like :meth:`execute` but guarantees a row list."""
         result = self.execute(sql, params)
@@ -213,13 +222,16 @@ class Database:
     def _execute_query(
         self, sql: str, stmt: ast.Statement, params: Sequence[Any]
     ) -> list[tuple]:
-        if self.execution_mode == "compiled":
-            fn = self._compile_cached(sql, stmt)
-            charge("compiled_exec")
-            rows = fn(ExecContext(params))
-        else:
-            plan = self._plan_cached(sql, stmt)
-            rows = list(plan.rows(ExecContext(params)))
+        # readers never lock: the whole statement runs against one MVCC
+        # snapshot (or the latest committed state under read-committed)
+        with oracle.read_view(self.isolation_level):
+            if self.execution_mode == "compiled":
+                fn = self._compile_cached(sql, stmt)
+                charge("compiled_exec")
+                rows = fn(ExecContext(params))
+            else:
+                plan = self._plan_cached(sql, stmt)
+                rows = list(plan.rows(ExecContext(params)))
         charge("sql_row", len(rows))
         return rows
 
@@ -326,7 +338,12 @@ class Database:
                 table.delete(handle)
                 txn = auto or self._active_txn
                 if txn is not None:
-                    txn.on_abort(lambda t=table, r=row: t.insert(r))
+                    # a tombstoned delete is undone in place; a physical
+                    # one is re-inserted (plain insert would collide
+                    # with the tombstone's surviving pk index entry)
+                    txn.on_abort(
+                        lambda t=table, h=handle, r=row: t.undo_delete(h, r)
+                    )
             except BaseException:
                 if auto is not None:
                     auto.abort()

@@ -26,7 +26,9 @@ from repro.storage.codec import ColumnType, RowCodec
 from repro.storage.column import ColumnTable
 from repro.storage.hashindex import HashIndex
 from repro.storage.heap import HeapFile
+from repro.storage.mvcc import VersionStore
 from repro.storage.wal import WriteAheadLog
+from repro.txn import oracle
 
 _TYPE_ALIASES = {
     "int": ColumnType.INT,
@@ -76,6 +78,11 @@ class Table:
         self.storage = storage
         self.wal = wal
         self._indexes: dict[str, BPlusTree | HashIndex] = {}
+        #: row versions keyed by handle; deletes observed by an active
+        #: snapshot are deferred here and reclaimed at the GC watermark
+        self.mvcc = VersionStore(
+            f"{name}-mvcc", on_reclaim=self._reclaim_tombstone
+        )
 
         if storage == "row":
             self._codec = RowCodec([t for _, t in columns])
@@ -125,7 +132,10 @@ class Table:
             index = HashIndex(name=f"{self.name}_{column}")
         else:
             raise ValueError(f"unknown index method: {method!r}")
-        for handle, row in self.scan():
+        # index every physical row, tombstoned ones included: visibility
+        # is filtered at lookup time, and the GC reclaim path unindexes
+        # deferred deletes from *all* indexes uniformly
+        for handle, row in self._scan_raw():
             if row[pos] is not None:
                 index.insert(row[pos], handle)
         self._indexes[column] = index
@@ -152,6 +162,7 @@ class Table:
             value = row[self._col_pos[column]]
             if value is not None:
                 index.insert(value, handle)
+        self.mvcc.stamp(handle)
         if self.wal is not None:
             self.wal.append(_wal_record("insert", self.name, list(row)))
         if runtime.TRACE is not None:
@@ -160,10 +171,11 @@ class Table:
 
     def update(self, handle: Any, changes: Mapping[str, Any]) -> Any:
         """Apply ``changes``; returns the (possibly moved) handle."""
-        old_row = self.fetch(handle)
+        old_row = self._fetch_raw(handle)
         new_row = list(old_row)
         for column, value in changes.items():
             new_row[self.column_position(column)] = value
+        self.mvcc.record_update(handle, old_row)
         if self.storage == "row":
             new_handle = self._heap.update(
                 handle, self._codec.encode(tuple(new_row))
@@ -171,6 +183,8 @@ class Table:
         else:
             self._cols.update(handle, dict(changes))
             new_handle = handle
+        if new_handle != handle:
+            self.mvcc.move(handle, new_handle)
         for column, index in self._indexes.items():
             pos = self._col_pos[column]
             changed = old_row[pos] != new_row[pos]
@@ -191,7 +205,31 @@ class Table:
         return new_handle
 
     def delete(self, handle: Any) -> None:
-        row = self.fetch(handle)
+        row = self._fetch_raw(handle)
+        if self.mvcc.record_delete(handle):
+            # an active snapshot may still see this row: keep it (and
+            # its index entries) in place, filtered by visibility, until
+            # the GC watermark passes the tombstone
+            pass
+        else:
+            self._remove_physical(handle, row)
+        if self.wal is not None:
+            self.wal.append(_wal_record("delete", self.name, list(row)))
+        if runtime.TRACE is not None:
+            runtime.TRACE.write((self.name, handle))
+
+    def undo_delete(self, handle: Any, row: Sequence[Any]) -> Any:
+        """Transaction-abort undo of :meth:`delete`; returns the handle.
+
+        A tombstoned row is still physically present — dropping the
+        tombstone restores it in place; a physically removed row is
+        re-inserted (fresh handle).
+        """
+        if self.mvcc.undelete(handle):
+            return handle
+        return self.insert(row)
+
+    def _remove_physical(self, handle: Any, row: tuple) -> None:
         if self.storage == "row":
             self._heap.delete(handle)
         else:
@@ -200,17 +238,26 @@ class Table:
             value = row[self._col_pos[column]]
             if value is not None:
                 index.delete(value, handle)
-        if self.wal is not None:
-            self.wal.append(_wal_record("delete", self.name, list(row)))
-        if runtime.TRACE is not None:
-            runtime.TRACE.write((self.name, handle))
+
+    def _reclaim_tombstone(self, handle: Any) -> None:
+        """GC callback: a deferred delete is now invisible to everyone."""
+        self._remove_physical(handle, self._fetch_raw(handle))
 
     # -- read path ---------------------------------------------------------------
 
-    def fetch(self, handle: Any) -> tuple:
+    def _fetch_raw(self, handle: Any) -> tuple:
+        """The latest committed row, ignoring any snapshot (write paths)."""
         if self.storage == "row":
             return self._codec.decode(self._heap.fetch(handle))
         return self._cols.read_row(handle)
+
+    def fetch(self, handle: Any) -> tuple:
+        row = self._fetch_raw(handle)
+        if runtime.TRACE is not None:
+            runtime.TRACE.read((self.name, handle))
+        if oracle.CURRENT is not None:
+            return self.mvcc.read(handle, row)
+        return row
 
     def fetch_batch(
         self, handles: Sequence[Any], needed: Sequence[str] | None = None
@@ -223,6 +270,10 @@ class Table:
         columns the query references.
         """
         if self.storage == "row" or not handles:
+            return [self.fetch(h) for h in handles]
+        if any(self.mvcc.stale(h) for h in handles):
+            # the batch spans versions the snapshot must not see: fall
+            # back to per-record chain walks
             return [self.fetch(h) for h in handles]
         charge("vector_setup")
         names = list(needed) if needed is not None else self.column_names
@@ -250,6 +301,8 @@ class Table:
         """
         if self.storage == "row" or not handles:
             return [self.fetch_values(h, columns) for h in handles]
+        if any(self.mvcc.stale(h) for h in handles):
+            return [self.fetch_values(h, columns) for h in handles]
         charge("vector_setup")
         return self._cols.read_batch(list(handles), list(columns))
 
@@ -264,7 +317,10 @@ class Table:
         index = self._indexes.get(column)
         if index is None:
             raise KeyError(f"no index on {self.name}.{column}")
-        return {value: index.search(value) for value in dict.fromkeys(values)}
+        return {
+            value: self.mvcc.filter_visible(index.search(value))
+            for value in dict.fromkeys(values)
+        }
 
     def fetch_values(self, handle: Any, columns: Sequence[str]) -> tuple:
         """Projection fetch.
@@ -273,24 +329,32 @@ class Table:
         only the requested columns — the layout difference the paper's
         traversal-heavy queries expose.
         """
-        if self.storage == "row":
+        if self.storage == "row" or self.mvcc.stale(handle):
             row = self.fetch(handle)
             return tuple(row[self.column_position(c)] for c in columns)
+        if runtime.TRACE is not None:
+            runtime.TRACE.read((self.name, handle))
         return self._cols.read_values(handle, list(columns))
 
-    def scan(self) -> Iterator[tuple[Any, tuple]]:
+    def _scan_raw(self) -> Iterator[tuple[Any, tuple]]:
+        """All physical rows, tombstoned ones included (index builds)."""
         if self.storage == "row":
             for rid, record in self._heap.scan():
                 yield rid, self._codec.decode(record)
         else:
             yield from self._cols.scan()
 
+    def scan(self) -> Iterator[tuple[Any, tuple]]:
+        for handle, row in self._scan_raw():
+            if self.mvcc.visible(handle):
+                yield handle, self.mvcc.read(handle, row)
+
     def lookup(self, column: str, value: Any) -> list[Any]:
         """Handles of rows where ``column == value`` via the index."""
         index = self._indexes.get(column)
         if index is None:
             raise KeyError(f"no index on {self.name}.{column}")
-        return index.search(value)
+        return self.mvcc.filter_visible(index.search(value))
 
     def range_lookup(
         self, column: str, lo: Any, hi: Any, *, hi_inclusive: bool = True
@@ -299,7 +363,8 @@ class Table:
         if not isinstance(index, BPlusTree):
             raise KeyError(f"no range index on {self.name}.{column}")
         for _key, handle in index.range_scan(lo, hi, hi_inclusive=hi_inclusive):
-            yield handle
+            if self.mvcc.visible(handle):
+                yield handle
 
     # -- stats --------------------------------------------------------------------
 

@@ -1,0 +1,201 @@
+"""Snapshot-anomaly audit over a traced transaction history.
+
+The race detector (:mod:`repro.sanitizer.race`) proves individual
+accesses are synchronized; this pass proves the *transactions* compose
+into a serializable history.  The two are independent: a history where
+every access is lock-protected and lock-ordered can still be
+non-serializable — early lock release and snapshot reads both produce
+exactly that shape — so a clean QA601 report says nothing about QA60x.
+
+QA603  lost update
+    two overlapping committed transactions both read-then-write one
+    resource, and the second writer's update lands without having
+    observed the first's (its read predates the foreign write).
+QA604  non-repeatable read
+    one transaction reads a resource twice without snapshot protection
+    and a foreign committed write lands between the reads.  Reads
+    tagged ``mode="snapshot"`` are repeatable by construction and
+    exempt — this is the read-committed anomaly MVCC snapshots remove.
+QA605  write skew
+    each of two overlapping committed transactions reads what the
+    other writes, and both reads predate both writes: no serial order
+    explains what either transaction saw.  This is *the* anomaly
+    snapshot isolation permits, so snapshot-mode reads participate.
+
+Storage-level events carry ``txn_id=-1``; like the race detector, the
+audit attributes them to the worker's open transaction.  Reads and
+writes outside any transaction are ignored, which keeps clean
+interactive runs silent: the harness has one writer applying
+transactions sequentially, and sequential transactions never overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.diagnostics import Diagnostic, SourceLocation, make
+from repro.sanitizer.events import Event
+
+_LOC = SourceLocation("runtime", "anomaly-audit")
+
+
+@dataclass
+class _Txn:
+    txn_id: int
+    worker: str
+    begin_seq: int
+    commit_seq: int | None = None
+    committed: bool = False
+    #: (resource, seq, mode) in trace order
+    reads: list[tuple[str, int, str]] = field(default_factory=list)
+    #: (resource, seq) in trace order
+    writes: list[tuple[str, int]] = field(default_factory=list)
+
+    def read_seqs(self, resource: str) -> list[int]:
+        return [s for r, s, _ in self.reads if r == resource]
+
+    def write_seqs(self, resource: str) -> list[int]:
+        return [s for r, s in self.writes if r == resource]
+
+
+def _collect(events: list[Event]) -> list[_Txn]:
+    """Committed transactions with their attributed read/write sets."""
+    txns: dict[int, _Txn] = {}
+    open_txn: dict[str, int] = {}
+    for ev in events:
+        if ev.kind == "begin":
+            txns[ev.txn_id] = _Txn(ev.txn_id, ev.worker, ev.seq)
+            open_txn[ev.worker] = ev.txn_id
+        elif ev.kind in ("commit", "abort"):
+            txn = txns.get(ev.txn_id)
+            if txn is not None:
+                txn.commit_seq = ev.seq
+                txn.committed = ev.kind == "commit"
+            if open_txn.get(ev.worker) == ev.txn_id:
+                del open_txn[ev.worker]
+        elif ev.kind in ("read", "write"):
+            tid = ev.txn_id if ev.txn_id != -1 else open_txn.get(ev.worker, -1)
+            txn = txns.get(tid)
+            if txn is None:
+                continue  # outside any transaction: not a history
+            if ev.kind == "read":
+                txn.reads.append((ev.resource, ev.seq, ev.mode))
+            else:
+                txn.writes.append((ev.resource, ev.seq))
+    return sorted(
+        (t for t in txns.values() if t.committed and t.commit_seq is not None),
+        key=lambda t: t.begin_seq,
+    )
+
+
+def _overlap(t1: _Txn, t2: _Txn) -> bool:
+    assert t1.commit_seq is not None and t2.commit_seq is not None
+    return t1.begin_seq < t2.commit_seq and t2.begin_seq < t1.commit_seq
+
+
+def audit_history(events: list[Event]) -> list[Diagnostic]:
+    """Replay ``events`` and report every snapshot anomaly (QA60x)."""
+    committed = _collect(events)
+    diagnostics: list[Diagnostic] = []
+
+    # -- QA603: lost update -------------------------------------------
+    for i, t1 in enumerate(committed):
+        for t2 in committed[i + 1:]:
+            if not _overlap(t1, t2):
+                continue
+            for victim, clobberer in ((t1, t2), (t2, t1)):
+                shared = sorted(
+                    {r for r, _, _ in clobberer.reads}
+                    & {r for r, _ in clobberer.writes}
+                    & {r for r, _, _ in victim.reads}
+                    & {r for r, _ in victim.writes}
+                )
+                for resource in shared:
+                    read = min(clobberer.read_seqs(resource))
+                    write = max(clobberer.write_seqs(resource))
+                    lost = [
+                        s
+                        for s in victim.write_seqs(resource)
+                        if read < s < write
+                    ]
+                    if lost:
+                        diagnostics.append(
+                            make(
+                                "QA603",
+                                f"txn {clobberer.txn_id} "
+                                f"({clobberer.worker}) overwrote "
+                                f"{resource} without observing the "
+                                f"update txn {victim.txn_id} "
+                                f"({victim.worker}) committed in "
+                                f"between",
+                                _LOC,
+                            )
+                        )
+                        break  # one report per direction
+
+    # -- QA604: non-repeatable read -----------------------------------
+    for txn in committed:
+        flagged: set[str] = set()
+        bare = [(r, s) for r, s, mode in txn.reads if mode != "snapshot"]
+        for resource, first in bare:
+            for other_resource, second in bare:
+                if other_resource != resource or second <= first:
+                    continue
+                if resource in flagged:
+                    continue
+                for other in committed:
+                    if other.txn_id == txn.txn_id:
+                        continue
+                    assert other.commit_seq is not None
+                    if other.commit_seq >= second:
+                        continue
+                    if any(
+                        first < s < second
+                        for s in other.write_seqs(resource)
+                    ):
+                        flagged.add(resource)
+                        diagnostics.append(
+                            make(
+                                "QA604",
+                                f"txn {txn.txn_id} ({txn.worker}) read "
+                                f"{resource} twice and txn "
+                                f"{other.txn_id} ({other.worker}) "
+                                f"committed a write in between",
+                                _LOC,
+                            )
+                        )
+                        break
+
+    # -- QA605: write skew --------------------------------------------
+    reported_skew: set[frozenset[int]] = set()
+    for i, t1 in enumerate(committed):
+        for t2 in committed[i + 1:]:
+            pair = frozenset((t1.txn_id, t2.txn_id))
+            if pair in reported_skew or not _overlap(t1, t2):
+                continue
+            t1_writes = {r for r, _ in t1.writes}
+            t2_writes = {r for r, _ in t2.writes}
+            crossed = sorted(
+                (a, b)
+                for a in {r for r, _, _ in t1.reads} & t2_writes
+                for b in {r for r, _, _ in t2.reads} & t1_writes
+                if a != b and a not in t1_writes and b not in t2_writes
+            )
+            for a, b in crossed:
+                if min(t1.read_seqs(a)) < max(t2.write_seqs(a)) and min(
+                    t2.read_seqs(b)
+                ) < max(t1.write_seqs(b)):
+                    reported_skew.add(pair)
+                    diagnostics.append(
+                        make(
+                            "QA605",
+                            f"txns {t1.txn_id} ({t1.worker}) and "
+                            f"{t2.txn_id} ({t2.worker}) each read what "
+                            f"the other wrote ({a} / {b}): serial in "
+                            f"neither order",
+                            _LOC,
+                        )
+                    )
+                    break
+
+    return diagnostics

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Mapping
 
 #: event kinds, in the order they appear in a typical transaction
-KINDS = ("begin", "acquire", "write", "commit", "abort", "release")
+KINDS = ("begin", "acquire", "read", "write", "commit", "abort", "release")
 
 
 @dataclass(frozen=True)
@@ -27,8 +27,9 @@ class Event:
     ``resource`` is the ``repr`` of the engine-level resource (a
     ``(table, key)`` lock tuple, a ``("node", id)`` write target, ...)
     so traces stay hashable and printable regardless of what the
-    engines lock.  ``mode`` is ``"S"``/``"X"`` for lock events and
-    ``""`` otherwise.
+    engines lock.  ``mode`` is ``"S"``/``"X"`` for lock events,
+    ``"snapshot"`` for MVCC snapshot reads (immune to read/write races
+    by construction), and ``""`` otherwise.
     """
 
     seq: int

@@ -13,6 +13,15 @@ lock-across-commit  QA602    a lock acquired after its transaction
                              committed, never released
 unsorted-locks      QA501,   two overlapping transactions take shared
                     QA502    locks on the same pair in opposite orders
+lost-update         QA603    two overlapping transactions read-then-
+                             write one row; the second write clobbers
+                             the first (every access lock-protected,
+                             so no QA601 — the *history* is the bug)
+non-repeatable-read QA604    one transaction reads a row twice without
+                             snapshot protection; a foreign commit
+                             lands in between
+write-skew          QA605    two snapshot transactions each read what
+                             the other writes, then both commit
 dangling-edge       QA701    an edge/FK row pointing at entities that
                              don't exist
 index-skew          QA702    an index entry surgically removed (or a
@@ -38,6 +47,7 @@ from repro.rdf.triples import TripleStore
 from repro.relational.engine import Database
 from repro.sanitizer import runtime
 from repro.titan.graph import TitanProvider, _encode_value, _pad
+from repro.txn import oracle
 from repro.txn.locks import LockMode
 
 #: ids far above anything the datagen emits at test scale
@@ -66,6 +76,11 @@ FAULTS: dict[str, Fault] = {
         frozenset({"QA501", "QA502"}),
         ("sql", "sqlg"),
     ),
+    "lost-update": Fault("lost-update", frozenset({"QA603"}), ("sql",)),
+    "non-repeatable-read": Fault(
+        "non-repeatable-read", frozenset({"QA604"}), ("sql",)
+    ),
+    "write-skew": Fault("write-skew", frozenset({"QA605"}), ("sql",)),
     "dangling-edge": Fault(
         "dangling-edge",
         frozenset({"QA701"}),
@@ -202,6 +217,96 @@ def _unsorted_locks(db: Database) -> None:
             locks.acquire(txn.txn_id, resource, LockMode.SHARED)
     t1.abort()
     t2.abort()
+
+
+# -- snapshot anomalies -> QA603 / QA604 / QA605 ------------------------------
+#
+# Every access below is individually lock-protected, and sequential
+# holds of one lock chain the accesses with happens-before edges — the
+# race detector stays silent.  The *transactions* still interleave
+# non-serializably (early lock release / snapshot reads), which only
+# the history audit can see.
+
+
+def _anomaly_row(db: Database, email: str) -> Any:
+    """A fresh person_email row inserted under an exclusive lock."""
+    pid = _first_pk(db, "person")
+    table = db.catalog.table("person_email")
+    with runtime.worker("anomaly-0"):
+        setup = db.txns.begin()
+        db.txns.locks.acquire(
+            setup.txn_id, ("anomaly", email), LockMode.EXCLUSIVE
+        )
+        handle = table.insert((pid, email))
+        setup.commit()
+    return handle
+
+
+def _lost_update(db: Database) -> None:
+    table = db.catalog.table("person_email")
+    lock = ("anomaly", "anomaly.r0@example.org")
+    handle = _anomaly_row(db, "anomaly.r0@example.org")
+    with runtime.worker("anomaly-1"):
+        t1 = db.txns.begin()
+        with oracle.read_view("snapshot"):
+            table.fetch(handle)
+    with runtime.worker("anomaly-2"):
+        t2 = db.txns.begin()
+        with oracle.read_view("snapshot"):
+            table.fetch(handle)
+        db.txns.locks.acquire(t2.txn_id, lock, LockMode.EXCLUSIVE)
+        table.update(handle, {"email": "anomaly.r2@example.org"})
+        t2.commit()
+    with runtime.worker("anomaly-1"):
+        # t1 updates from its stale snapshot: t2's committed write is
+        # overwritten without ever having been observed
+        db.txns.locks.acquire(t1.txn_id, lock, LockMode.EXCLUSIVE)
+        table.update(handle, {"email": "anomaly.r1@example.org"})
+        t1.commit()
+
+
+def _non_repeatable_read(db: Database) -> None:
+    table = db.catalog.table("person_email")
+    lock = ("anomaly", "anomaly.n0@example.org")
+    handle = _anomaly_row(db, "anomaly.n0@example.org")
+    with runtime.worker("anomaly-1"):
+        t1 = db.txns.begin()
+        db.txns.locks.acquire(t1.txn_id, lock, LockMode.SHARED)
+        table.fetch(handle)  # bare read: no snapshot protection
+        db.txns.locks.release_all(t1.txn_id)  # early release: the bug
+    with runtime.worker("anomaly-2"):
+        t2 = db.txns.begin()
+        db.txns.locks.acquire(t2.txn_id, lock, LockMode.EXCLUSIVE)
+        table.update(handle, {"email": "anomaly.n2@example.org"})
+        t2.commit()
+    with runtime.worker("anomaly-1"):
+        db.txns.locks.acquire(t1.txn_id, lock, LockMode.SHARED)
+        table.fetch(handle)  # same transaction, different answer
+        t1.commit()
+
+
+def _write_skew(db: Database) -> None:
+    table = db.catalog.table("person_email")
+    backup_lock = ("anomaly", "anomaly.b0@example.org")
+    on_call_lock = ("anomaly", "anomaly.a0@example.org")
+    on_call = _anomaly_row(db, "anomaly.a0@example.org")
+    backup = _anomaly_row(db, "anomaly.b0@example.org")
+    with runtime.worker("anomaly-1"):
+        t1 = db.txns.begin()
+        with oracle.read_view("snapshot"):
+            table.fetch(on_call)
+    with runtime.worker("anomaly-2"):
+        t2 = db.txns.begin()
+        with oracle.read_view("snapshot"):
+            table.fetch(backup)
+    with runtime.worker("anomaly-1"):
+        db.txns.locks.acquire(t1.txn_id, backup_lock, LockMode.EXCLUSIVE)
+        table.update(backup, {"email": "anomaly.b1@example.org"})
+        t1.commit()
+    with runtime.worker("anomaly-2"):
+        db.txns.locks.acquire(t2.txn_id, on_call_lock, LockMode.EXCLUSIVE)
+        table.update(on_call, {"email": "anomaly.a2@example.org"})
+        t2.commit()
 
 
 # -- dangling-edge -> QA701 ---------------------------------------------------
@@ -344,6 +449,9 @@ _INJECTORS: dict[tuple[str, str], Any] = {
     ("lock-across-commit", "sqlg"): _lock_across_commit,
     ("unsorted-locks", "sql"): _unsorted_locks,
     ("unsorted-locks", "sqlg"): _unsorted_locks,
+    ("lost-update", "sql"): _lost_update,
+    ("non-repeatable-read", "sql"): _non_repeatable_read,
+    ("write-skew", "sql"): _write_skew,
     ("dangling-edge", "sql"): _dangling_edge_sql,
     ("dangling-edge", "sqlg"): _dangling_edge_sqlg,
     ("dangling-edge", "graph"): _dangling_edge_graph,

@@ -8,8 +8,9 @@ The run is staged so clean executions stay silent:
    tracing`, with every simulated worker tagged by the driver;
 3. an optional seeded fault (:mod:`repro.sanitizer.faults`) is planted
    while tracing is still live, so lock/race faults land in the trace;
-4. tracing is torn down, then the race detector replays the trace and
-   the integrity auditors walk the engine — outside tracing, because
+4. tracing is torn down, then the race detector and the snapshot-
+   anomaly audit replay the trace and the integrity auditors walk the
+   engine — outside tracing, because
    the WAL-replay audit re-inserts every row into a scratch database
    and those writes must not pollute the trace.
 """
@@ -21,6 +22,7 @@ from dataclasses import dataclass, field
 from repro.analysis.diagnostics import Diagnostic
 from repro.core import make_connector
 from repro.driver import InteractiveConfig, InteractiveWorkloadRunner
+from repro.sanitizer.anomalies import audit_history
 from repro.sanitizer.faults import FAULTS, applicable_modes, inject
 from repro.sanitizer.integrity import audit_connector
 from repro.sanitizer.race import analyze_trace
@@ -92,6 +94,7 @@ def run_sanitize(
             inject(inject_mode, targets)
 
     diagnostics = analyze_trace(trace.events)
+    diagnostics += audit_history(trace.events)
     diagnostics += audit_connector(connector)
     return SanitizeReport(
         system=system,

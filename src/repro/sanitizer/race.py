@@ -4,11 +4,12 @@ The detector replays the event list produced by
 :class:`repro.sanitizer.runtime.TraceCollector` and reports:
 
 QA601
-    two *writes* to the same resource from different workers whose
+    two conflicting accesses (write/write, or an unprotected read
+    against a write) to the same resource from different workers whose
     vector clocks are concurrent and whose locksets are disjoint — the
-    Eraser candidate-lockset rule restricted to write/write pairs
-    (readers in this codebase take no locks by design and emit no
-    events, so read/write pairs are out of scope).
+    Eraser candidate-lockset rule.  Reads tagged ``mode="snapshot"``
+    ran against an immutable MVCC version and are immune by
+    construction, so only bare (read-committed) reads participate.
 QA602
     a lock still held at end of trace: either the transaction
     committed without releasing it (held across the commit boundary)
@@ -70,11 +71,39 @@ def analyze_trace(events: list[Event]) -> list[Diagnostic]:
     #: the txn each worker currently has open (storage-level write
     #: events don't know their transaction; the worker does)
     open_txn: dict[str, int] = {}
-    #: per written resource: the accesses seen so far
+    #: per resource: the write / unprotected-read accesses seen so far
     accesses: dict[str, list[_Access]] = {}
+    read_accesses: dict[str, list[_Access]] = {}
     diagnostics: list[Diagnostic] = []
-    reported_601: set[tuple[str, frozenset[str]]] = set()
+    reported_601: set[tuple[str, frozenset[str], str]] = set()
     last_seq = events[-1].seq if events else 0
+
+    def report_601(
+        prior: _Access, current: _Access, resource: str, kind: str
+    ) -> None:
+        if prior.worker == current.worker:
+            return
+        if prior.clock <= current.clock:
+            return  # ordered: release/acquire edge between them
+        if prior.lockset & current.lockset:
+            return  # a common lock serialises them
+        pair = frozenset((prior.worker, current.worker))
+        key = (resource, pair, kind)
+        if key in reported_601:
+            return
+        reported_601.add(key)
+        diagnostics.append(
+            make(
+                "QA601",
+                f"resource {resource} {kind} by "
+                f"{prior.worker} (locks "
+                f"{sorted(prior.lockset) or 'none'}) and "
+                f"{current.worker} (locks "
+                f"{sorted(current.lockset) or 'none'}) with no "
+                f"happens-before edge",
+                _loc("race-detector"),
+            )
+        )
 
     for ev in events:
         clock = clocks.get(ev.worker, VectorClock()).tick(ev.worker)
@@ -109,30 +138,19 @@ def analyze_trace(events: list[Event]) -> list[Diagnostic]:
             lockset = frozenset(owner.held)
             current = _Access(ev.worker, ev.txn_id, clock, lockset, ev.seq)
             for prior in accesses.setdefault(ev.resource, []):
-                if prior.worker == ev.worker:
-                    continue
-                if prior.clock <= current.clock:
-                    continue  # ordered: release/acquire edge between them
-                if prior.lockset & current.lockset:
-                    continue  # a common lock serialises them
-                pair = frozenset((prior.worker, ev.worker))
-                key = (ev.resource, pair)
-                if key in reported_601:
-                    continue
-                reported_601.add(key)
-                diagnostics.append(
-                    make(
-                        "QA601",
-                        f"resource {ev.resource} written by "
-                        f"{prior.worker} (locks "
-                        f"{sorted(prior.lockset) or 'none'}) and "
-                        f"{ev.worker} (locks "
-                        f"{sorted(current.lockset) or 'none'}) with no "
-                        f"happens-before edge",
-                        _loc("race-detector"),
-                    )
-                )
+                report_601(prior, current, ev.resource, "written")
+            for prior in read_accesses.get(ev.resource, ()):
+                report_601(prior, current, ev.resource, "read/written")
             accesses[ev.resource].append(current)
+        elif ev.kind == "read" and ev.mode != "snapshot":
+            # a bare read races any concurrent unserialised write;
+            # snapshot-mode reads observe an immutable version instead
+            owner = txns.get(open_txn.get(ev.worker, ev.txn_id), txn)
+            lockset = frozenset(owner.held)
+            current = _Access(ev.worker, ev.txn_id, clock, lockset, ev.seq)
+            for prior in accesses.get(ev.resource, ()):
+                report_601(prior, current, ev.resource, "read/written")
+            read_accesses.setdefault(ev.resource, []).append(current)
 
         clocks[ev.worker] = clock
 

@@ -68,6 +68,20 @@ class TraceCollector:
         tuple); ``txn_id`` is ``-1`` when no transaction is active."""
         self._emit("write", txn_id, resource)
 
+    def read(self, resource: Any, txn_id: int = -1) -> None:
+        """A storage-level read of ``resource``.
+
+        The protection mode is taken from the MVCC oracle at the moment
+        of the read: ``"snapshot"`` reads run against an immutable
+        version and cannot race writers; bare ``""`` reads are QA601
+        read/write race candidates.
+        """
+        # deferred import: the oracle sits below the storage layer that
+        # calls this hook, keeping the runtime module dependency-light
+        from repro.txn import oracle
+
+        self._emit("read", txn_id, resource, oracle.read_mode())
+
 
 @contextmanager
 def tracing() -> Iterator[TraceCollector]:

@@ -105,6 +105,12 @@ DEFAULT_WEIGHTS: dict[str, float] = {
     "lock_rtt": 1200.0,       # Titan distributed-lock round trip + wait
     "txn_begin": 2.0,
     "txn_commit": 4.0,
+    # --- MVCC snapshot reads ---------------------------------------------------
+    "ts_alloc": 0.1,          # allocate a read timestamp from the oracle
+    "version_check": 0.01,    # test one record's visibility against a
+                              # snapshot (stamp/tombstone comparison)
+    "version_walk": 0.05,     # step once down a version chain to an older
+                              # committed value
 }
 
 

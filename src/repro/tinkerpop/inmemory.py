@@ -5,7 +5,9 @@ from __future__ import annotations
 from collections.abc import Iterator
 from typing import Any
 
+from repro.sanitizer import runtime
 from repro.simclock.ledger import charge
+from repro.storage.mvcc import VersionStore
 from repro.tinkerpop.structure import GraphProvider
 
 
@@ -23,6 +25,9 @@ class TinkerGraphProvider(GraphProvider):
         self._out: dict[int, list[int]] = {}
         self._in: dict[int, list[int]] = {}
         self._indexes: dict[tuple[str, str], dict[Any, list[int]]] = {}
+        # version metadata keyed ("v", vid) / ("e", eid); the SPI has no
+        # deletes, so only stamps and property-update chains occur
+        self.mvcc = VersionStore("tinkergraph-mvcc")
         self._next_vid = 0
         self._next_eid = 0
 
@@ -47,14 +52,16 @@ class TinkerGraphProvider(GraphProvider):
         index = self._indexes.get((label, key))
         if index is None:
             raise KeyError(f"no index on {label}.{key}")
-        return list(index.get(value, ()))
+        return [v for v in index.get(value, ()) if self.mvcc.visible(("v", v))]
 
     # -- reads --------------------------------------------------------------------
 
     def vertices(self, label: str | None = None) -> Iterator[Any]:
         for vid, vlabel in self._vertex_labels.items():
             charge("value_cpu")
-            if label is None or vlabel == label:
+            if (label is None or vlabel == label) and self.mvcc.visible(
+                ("v", vid)
+            ):
                 yield vid
 
     def vertex_label(self, vid: Any) -> str:
@@ -63,7 +70,9 @@ class TinkerGraphProvider(GraphProvider):
 
     def vertex_props(self, vid: Any) -> dict[str, Any]:
         charge("value_cpu")
-        return self._vertex_props[vid]
+        if runtime.TRACE is not None:
+            runtime.TRACE.read(("vertex", vid))
+        return self.mvcc.read(("v", vid), self._vertex_props[vid])
 
     def edge_props(self, eid: Any) -> dict[str, Any]:
         charge("value_cpu")
@@ -80,15 +89,21 @@ class TinkerGraphProvider(GraphProvider):
     def adjacent(
         self, vid: Any, direction: str, label: str | None
     ) -> Iterator[tuple[Any, Any]]:
+        if runtime.TRACE is not None:
+            runtime.TRACE.read(("vertex", vid))
         if direction in ("out", "both"):
             for eid in self._out.get(vid, ()):
                 charge("value_cpu")
-                if label is None or self._edge_labels[eid] == label:
+                if (
+                    label is None or self._edge_labels[eid] == label
+                ) and self.mvcc.visible(("e", eid)):
                     yield eid, self._edge_ends[eid][1]
         if direction in ("in", "both"):
             for eid in self._in.get(vid, ()):
                 charge("value_cpu")
-                if label is None or self._edge_labels[eid] == label:
+                if (
+                    label is None or self._edge_labels[eid] == label
+                ) and self.mvcc.visible(("e", eid)):
                     yield eid, self._edge_ends[eid][0]
 
     # -- writes ----------------------------------------------------------------------
@@ -99,9 +114,12 @@ class TinkerGraphProvider(GraphProvider):
         self._next_vid += 1
         self._vertex_labels[vid] = label
         self._vertex_props[vid] = dict(props)
+        self.mvcc.stamp(("v", vid))
         for (ilabel, key), index in self._indexes.items():
             if ilabel == label and props.get(key) is not None:
                 index.setdefault(props[key], []).append(vid)
+        if runtime.TRACE is not None:
+            runtime.TRACE.write(("vertex", vid))
         return vid
 
     def create_edge(
@@ -119,11 +137,16 @@ class TinkerGraphProvider(GraphProvider):
         self._edge_ends[eid] = (out_vid, in_vid)
         self._out.setdefault(out_vid, []).append(eid)
         self._in.setdefault(in_vid, []).append(eid)
+        self.mvcc.stamp(("e", eid))
+        if runtime.TRACE is not None:
+            runtime.TRACE.write(("vertex", out_vid))
+            runtime.TRACE.write(("vertex", in_vid))
         return eid
 
     def set_vertex_prop(self, vid: Any, key: str, value: Any) -> None:
         charge("value_cpu")
         label = self._vertex_labels[vid]
+        self.mvcc.record_update(("v", vid), dict(self._vertex_props[vid]))
         old = self._vertex_props[vid].get(key)
         self._vertex_props[vid][key] = value
         index = self._indexes.get((label, key))
@@ -132,6 +155,8 @@ class TinkerGraphProvider(GraphProvider):
                 index[old].remove(vid)
             if value is not None:
                 index.setdefault(value, []).append(vid)
+        if runtime.TRACE is not None:
+            runtime.TRACE.write(("vertex", vid))
 
     # -- stats ------------------------------------------------------------------------
 

@@ -27,11 +27,17 @@ from repro.simclock.costmodel import CostModel
 from repro.simclock.ledger import Ledger, metered
 from repro.tinkerpop.structure import Graph, GraphProvider, GraphTraversalSource
 from repro.tinkerpop.traversal import (
+    AddEStep,
+    AddVStep,
+    PropertyStep,
+    RepeatStep,
+    Step,
     StepBudgetExceeded,
     Traversal,
     cost_guard,
     step_budget,
 )
+from repro.txn import oracle
 
 RESULT_BATCH_SIZE = 64
 
@@ -47,6 +53,23 @@ _COMPILED = object()
 
 class GremlinServerError(Exception):
     """The server dropped the request (overload or crash)."""
+
+
+def _steps_write(steps: list[Step]) -> bool:
+    """Whether any step (including repeat() bodies) mutates the graph.
+
+    Traversal building is lazy — ``build(g)`` only records steps — so
+    the server can inspect the step list before evaluation starts.
+    """
+    for step in steps:
+        if isinstance(step, (AddVStep, AddEStep, PropertyStep)):
+            return True
+        if isinstance(step, RepeatStep):
+            if _steps_write(step.body.steps):
+                return True
+            if step.until is not None and _steps_write(step.until.steps):
+                return True
+    return False
 
 
 class GremlinServer:
@@ -73,6 +96,7 @@ class GremlinServer:
         self.request_timeout_us = request_timeout_us
         self.cost_model = cost_model or CostModel()
         self.execution_mode = execution_mode
+        self.isolation_level = "snapshot"
         self.crashed = False
         self.requests_served = 0
         self.requests_failed = 0
@@ -109,6 +133,11 @@ class GremlinServer:
         if mode not in ("interpreted", "compiled"):
             raise ValueError(f"unknown execution mode: {mode!r}")
         self.execution_mode = mode
+
+    def set_isolation_level(self, level: str) -> None:
+        """``snapshot`` (readers never block) or ``read-committed``."""
+        oracle.check_isolation_level(level)
+        self.isolation_level = level
 
     def cache_stats(self) -> list[CacheStats]:
         rows = []
@@ -151,7 +180,15 @@ class GremlinServer:
                 cache.store(cache_key, True)
         else:
             charge("gremlin_compile")  # script evaluation / compilation
-        results = self._evaluate(lambda g: build(g).toList())
+
+        def run(g: GraphTraversalSource) -> list[Any]:
+            traversal = build(g)
+            if _steps_write(traversal.steps):
+                return traversal.toList()
+            with oracle.read_view(self.isolation_level):
+                return traversal.toList()
+
+        results = self._evaluate(run)
         charge("serialize_item", len(results))
         # response streaming: one round trip per batch
         batches = max(1, -(-len(results) // RESULT_BATCH_SIZE))
@@ -200,7 +237,10 @@ class GremlinServer:
             # the key was reused for a different, uncompilable shape;
             # evaluate this request interpreted without poisoning the key
             return None
-        results = self._evaluate(lambda g: fn())
+        # compiled traversals are read-only by construction (write steps
+        # raise CompileError above), so every run gets a snapshot view
+        with oracle.read_view(self.isolation_level):
+            results = self._evaluate(lambda g: fn())
         # vectorized serialization: the whole result set is encoded as
         # one binary frame — one frame setup plus a per-value touch,
         # instead of per-element GraphSON object encoding, and no extra

@@ -17,7 +17,8 @@ from collections.abc import Callable, Iterator
 from dataclasses import dataclass, replace
 from typing import Any
 
-from repro.simclock.ledger import charge
+from repro.simclock.costmodel import CostModel
+from repro.simclock.ledger import Ledger, charge
 from repro.tinkerpop.structure import Edge, GraphProvider, Vertex
 
 MAX_REPEAT_LOOPS = 64
@@ -50,7 +51,7 @@ class step_budget:
         _BUDGET.append(self.limit)
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         _BUDGET.pop()
 
 
@@ -66,7 +67,7 @@ class cost_guard:
     traversal raises :class:`StepBudgetExceeded` past the limit.
     """
 
-    def __init__(self, ledger, model, limit_us: float,
+    def __init__(self, ledger: Ledger, model: CostModel, limit_us: float,
                  check_every: int = 2048) -> None:
         self.ledger = ledger
         self.model = model
@@ -99,7 +100,7 @@ class cost_guard:
         _COST_GUARDS.append(self)
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         _COST_GUARDS.remove(self)
 
 
@@ -214,7 +215,9 @@ class VStep(Step):
         self.index_key: str | None = None
         self.index_value: Any = None
 
-    def apply(self, traversers, provider):
+    def apply(
+        self, traversers: Iterator[Traverser], provider: GraphProvider
+    ) -> Iterator[Traverser]:
         for traverser in traversers:
             self._tick()
             if self.vid is not None:
@@ -239,12 +242,16 @@ class VStep(Step):
 
 
 class HasStep(Step):
-    def __init__(self, key: str, predicate: P, label: str | None = None):
+    def __init__(
+        self, key: str, predicate: P, label: str | None = None
+    ) -> None:
         self.key = key
         self.predicate = predicate
         self.label = label
 
-    def apply(self, traversers, provider):
+    def apply(
+        self, traversers: Iterator[Traverser], provider: GraphProvider
+    ) -> Iterator[Traverser]:
         for traverser in traversers:
             self._tick()
             obj = traverser.obj
@@ -266,7 +273,9 @@ class HasLabelStep(Step):
     def __init__(self, label: str) -> None:
         self.label = label
 
-    def apply(self, traversers, provider):
+    def apply(
+        self, traversers: Iterator[Traverser], provider: GraphProvider
+    ) -> Iterator[Traverser]:
         for traverser in traversers:
             self._tick()
             obj = traverser.obj
@@ -281,12 +290,16 @@ class HasLabelStep(Step):
 class AdjacentStep(Step):
     """out/in/both (to vertices) and outE/inE/bothE (to edges)."""
 
-    def __init__(self, direction: str, label: str | None, to_edge: bool):
+    def __init__(
+        self, direction: str, label: str | None, to_edge: bool
+    ) -> None:
         self.direction = direction
         self.label = label
         self.to_edge = to_edge
 
-    def apply(self, traversers, provider):
+    def apply(
+        self, traversers: Iterator[Traverser], provider: GraphProvider
+    ) -> Iterator[Traverser]:
         for traverser in traversers:
             self._tick()
             obj = traverser.obj
@@ -311,7 +324,9 @@ class EdgeVertexStep(Step):
     def __init__(self, which: str) -> None:
         self.which = which
 
-    def apply(self, traversers, provider):
+    def apply(
+        self, traversers: Iterator[Traverser], provider: GraphProvider
+    ) -> Iterator[Traverser]:
         for traverser in traversers:
             self._tick()
             edge = traverser.obj
@@ -340,7 +355,9 @@ class ValuesStep(Step):
     def __init__(self, keys: tuple[str, ...]) -> None:
         self.keys = keys
 
-    def apply(self, traversers, provider):
+    def apply(
+        self, traversers: Iterator[Traverser], provider: GraphProvider
+    ) -> Iterator[Traverser]:
         for traverser in traversers:
             self._tick()
             props = _element_props(traverser.obj, provider)
@@ -351,7 +368,9 @@ class ValuesStep(Step):
 
 
 class ValueMapStep(Step):
-    def apply(self, traversers, provider):
+    def apply(
+        self, traversers: Iterator[Traverser], provider: GraphProvider
+    ) -> Iterator[Traverser]:
         for traverser in traversers:
             self._tick()
             yield replace(
@@ -360,14 +379,18 @@ class ValueMapStep(Step):
 
 
 class IdStep(Step):
-    def apply(self, traversers, provider):
+    def apply(
+        self, traversers: Iterator[Traverser], provider: GraphProvider
+    ) -> Iterator[Traverser]:
         for traverser in traversers:
             self._tick()
             yield replace(traverser, obj=traverser.obj.id)
 
 
 class DedupStep(Step):
-    def apply(self, traversers, provider):
+    def apply(
+        self, traversers: Iterator[Traverser], provider: GraphProvider
+    ) -> Iterator[Traverser]:
         seen: set = set()
         for traverser in traversers:
             self._tick()
@@ -380,7 +403,9 @@ class DedupStep(Step):
 
 
 class SimplePathStep(Step):
-    def apply(self, traversers, provider):
+    def apply(
+        self, traversers: Iterator[Traverser], provider: GraphProvider
+    ) -> Iterator[Traverser]:
         for traverser in traversers:
             self._tick()
             elements = [e for e in traverser.path if isinstance(e, (Vertex, Edge))]
@@ -389,7 +414,9 @@ class SimplePathStep(Step):
 
 
 class PathStep(Step):
-    def apply(self, traversers, provider):
+    def apply(
+        self, traversers: Iterator[Traverser], provider: GraphProvider
+    ) -> Iterator[Traverser]:
         for traverser in traversers:
             self._tick()
             yield replace(traverser, obj=tuple(traverser.path))
@@ -399,7 +426,9 @@ class LimitStep(Step):
     def __init__(self, limit: int) -> None:
         self.limit = limit
 
-    def apply(self, traversers, provider):
+    def apply(
+        self, traversers: Iterator[Traverser], provider: GraphProvider
+    ) -> Iterator[Traverser]:
         emitted = 0
         for traverser in traversers:
             if emitted >= self.limit:
@@ -410,7 +439,9 @@ class LimitStep(Step):
 
 
 class CountStep(Step):
-    def apply(self, traversers, provider):
+    def apply(
+        self, traversers: Iterator[Traverser], provider: GraphProvider
+    ) -> Iterator[Traverser]:
         total = 0
         for _ in traversers:
             self._tick()
@@ -423,11 +454,13 @@ class OrderStep(Step):
         self.key: str | None = None
         self.descending = False
 
-    def apply(self, traversers, provider):
+    def apply(
+        self, traversers: Iterator[Traverser], provider: GraphProvider
+    ) -> Iterator[Traverser]:
         materialized = list(traversers)
         self._tick()
 
-        def sort_key(traverser: Traverser):
+        def sort_key(traverser: Traverser) -> tuple[bool, Any]:
             obj = traverser.obj
             if self.key is None:
                 value = obj
@@ -446,7 +479,9 @@ class RepeatStep(Step):
         self.until: "Traversal | None" = None
         self.emit = False
 
-    def apply(self, traversers, provider):
+    def apply(
+        self, traversers: Iterator[Traverser], provider: GraphProvider
+    ) -> Iterator[Traverser]:
         frontier = list(traversers)
         loops = 0
         while frontier:
@@ -477,7 +512,8 @@ class RepeatStep(Step):
             if self.times is None and self.until is None:
                 raise TraversalError("repeat() needs times() or until()")
 
-    def _test(self, traverser: Traverser, provider) -> bool:
+    def _test(self, traverser: Traverser, provider: GraphProvider) -> bool:
+        assert self.until is not None
         return any(
             True for _ in self.until._apply_to(traverser, provider)
         )
@@ -488,7 +524,9 @@ class AddVStep(Step):
         self.label = label
         self.props: dict[str, Any] = {}
 
-    def apply(self, traversers, provider):
+    def apply(
+        self, traversers: Iterator[Traverser], provider: GraphProvider
+    ) -> Iterator[Traverser]:
         for traverser in traversers:
             self._tick()
             vid = provider.create_vertex(self.label, dict(self.props))
@@ -505,7 +543,9 @@ class AddEStep(Step):
         self.from_vertex: Vertex | None = None
         self.props: dict[str, Any] = {}
 
-    def apply(self, traversers, provider):
+    def apply(
+        self, traversers: Iterator[Traverser], provider: GraphProvider
+    ) -> Iterator[Traverser]:
         for traverser in traversers:
             self._tick()
             current = traverser.obj
@@ -529,7 +569,9 @@ class PropertyStep(Step):
         self.key = key
         self.value = value
 
-    def apply(self, traversers, provider):
+    def apply(
+        self, traversers: Iterator[Traverser], provider: GraphProvider
+    ) -> Iterator[Traverser]:
         for traverser in traversers:
             self._tick()
             obj = traverser.obj
@@ -545,7 +587,9 @@ class FilterStep(Step):
     def __init__(self, fn: Callable[[Any], bool]) -> None:
         self.fn = fn
 
-    def apply(self, traversers, provider):
+    def apply(
+        self, traversers: Iterator[Traverser], provider: GraphProvider
+    ) -> Iterator[Traverser]:
         for traverser in traversers:
             self._tick()
             if self.fn(traverser.obj):

@@ -24,6 +24,7 @@ from repro.sanitizer import runtime
 from repro.simclock.ledger import charge
 from repro.storage.bdb import BDBStore
 from repro.storage.lsm import LSMTree
+from repro.storage.mvcc import VersionStore
 from repro.tinkerpop.structure import GraphProvider
 
 _DIR = {"out": "o", "in": "i"}
@@ -55,6 +56,9 @@ class TitanProvider(GraphProvider):
         self.requires_locking = requires_locking
         self._indexed: set[tuple[str, str]] = set()
         self._next_eid = 0
+        # version metadata keyed ("v", vid) / ("e", eid); no deletes in
+        # the SPI, so only stamps and property-update chains occur
+        self.mvcc = VersionStore(f"{name}-mvcc")
         # Titan's transaction-level vertex cache: repeated property access
         # within a traversal hits this instead of the storage backend
         self._vertex_cache: dict[Any, dict] = {}
@@ -100,6 +104,7 @@ class TitanProvider(GraphProvider):
             f"v:{_pad(vid)}",
             json.dumps({"label": label, "props": props}).encode(),
         )
+        self.mvcc.stamp(("v", vid))
         for ilabel, ikey in self._indexed:
             if ilabel == label and props.get(ikey) is not None:
                 self._put(
@@ -123,6 +128,7 @@ class TitanProvider(GraphProvider):
         self._put(
             f"e:{_pad(in_vid)}:{label}:i:{_pad(out_vid)}:{_pad(eid)}", payload
         )
+        self.mvcc.stamp(("e", eid))
         if runtime.TRACE is not None:
             runtime.TRACE.write(("titan-adj", out_vid))
             runtime.TRACE.write(("titan-adj", in_vid))
@@ -133,6 +139,7 @@ class TitanProvider(GraphProvider):
         if raw is None:
             raise KeyError(f"no vertex {vid}")
         record = json.loads(raw)
+        self.mvcc.record_update(("v", vid), json.loads(raw))
         record["props"][key] = value
         self._vertex_cache.pop(vid, None)
         self._put(f"v:{_pad(vid)}", json.dumps(record).encode())
@@ -145,10 +152,20 @@ class TitanProvider(GraphProvider):
         for key, value in self._scan("v:"):
             charge("value_cpu")
             record = json.loads(value)
-            if label is None or record["label"] == label:
-                yield record["props"]["id"]
+            vid = record["props"]["id"]
+            if (
+                label is None or record["label"] == label
+            ) and self.mvcc.visible(("v", vid)):
+                yield vid
 
     def _vertex_record(self, vid: Any) -> dict:
+        if runtime.TRACE is not None:
+            runtime.TRACE.read(("titan-vertex", vid))
+        if self.mvcc.stale(("v", vid)):
+            # snapshot older than the latest write: serve the covering
+            # chain version, bypassing the transaction-level cache
+            charge("value_cpu")
+            return self.mvcc.read(("v", vid), None)
         cached = self._vertex_cache.get(vid)
         if cached is not None:
             charge("value_cpu")
@@ -193,6 +210,8 @@ class TitanProvider(GraphProvider):
                 prefixes = [f"e:{_pad(vid)}:{label}:{_DIR[direction]}:"]
         else:
             prefixes = [f"e:{_pad(vid)}:"]
+        if runtime.TRACE is not None:
+            runtime.TRACE.read(("titan-adj", vid))
         wanted = _DIR.get(direction)
         for prefix in prefixes:
             for key, _value in self._scan(prefix):
@@ -204,6 +223,8 @@ class TitanProvider(GraphProvider):
                 eid_num = int(parts[5])
                 if wanted is not None and dir_code != wanted:
                     continue
+                if not self.mvcc.visible(("e", eid_num)):
+                    continue
                 if dir_code == "o":
                     eid = (eid_num, elabel, vid, other)
                 else:
@@ -214,10 +235,11 @@ class TitanProvider(GraphProvider):
         if (label, key) not in self._indexed:
             raise KeyError(f"no Titan index on {label}.{key}")
         prefix = f"i:{label}:{key}:{_encode_value(value)}:"
-        return [
+        vids = [
             int(entry_key.rsplit(":", 1)[1])
             for entry_key, _ in self._scan(prefix)
         ]
+        return [vid for vid in vids if self.mvcc.visible(("v", vid))]
 
     # -- stats -------------------------------------------------------------------------------
 

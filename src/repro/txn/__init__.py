@@ -14,13 +14,25 @@ from repro.txn.locks import (
     LockMode,
 )
 from repro.txn.manager import Transaction, TransactionManager, TxnState
+from repro.txn.oracle import (
+    ORACLE,
+    Snapshot,
+    TimestampOracle,
+    held_snapshot,
+    read_view,
+)
 
 __all__ = [
     "LockMode",
     "LockConflict",
     "DeadlockError",
     "LockManager",
+    "ORACLE",
+    "Snapshot",
+    "TimestampOracle",
     "Transaction",
     "TransactionManager",
     "TxnState",
+    "held_snapshot",
+    "read_view",
 ]

@@ -1,0 +1,236 @@
+"""The snapshot-anomaly audit (QA603/QA604/QA605).
+
+Two halves, mirroring ``tests/test_sanitizer_harness.py``:
+
+* unit — hand-built transaction histories fed straight into
+  :func:`audit_history`: each canonical anomaly is flagged exactly
+  once, serializable and aborted histories stay silent, and the
+  JSON diagnostic shape is pinned;
+* end-to-end — the seeded fault injectors plant each anomaly inside a
+  real instrumented Figure 3 run, and the audit reports exactly the
+  registered code (the race detector stays silent: the fixtures are
+  lock-protected and happens-before ordered on purpose).
+"""
+
+import pytest
+
+from repro.sanitizer.anomalies import audit_history
+from repro.sanitizer.events import Event
+from repro.sanitizer.harness import run_sanitize
+from repro.snb import GeneratorConfig, generate
+
+CONFIG = GeneratorConfig(scale_factor=3, scale_divisor=10000, seed=3)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate(CONFIG)
+
+
+def history(*steps):
+    """Build an Event list from (kind, worker, txn_id[, resource[, mode]])."""
+    events = []
+    for seq, step in enumerate(steps):
+        kind, worker, txn_id, *rest = step
+        resource = rest[0] if rest else ""
+        mode = rest[1] if len(rest) > 1 else ""
+        events.append(Event(seq, kind, worker, txn_id, resource, mode))
+    return events
+
+
+def codes(events):
+    return [d.code for d in audit_history(events)]
+
+
+LOST_UPDATE = history(
+    ("begin", "w1", 1),
+    ("begin", "w2", 2),
+    ("read", "w1", 1, "r"),
+    ("read", "w2", 2, "r"),
+    ("write", "w2", 2, "r"),
+    ("commit", "w2", 2),
+    ("write", "w1", 1, "r"),  # lands without having seen txn 2's
+    ("commit", "w1", 1),
+)
+
+NON_REPEATABLE = history(
+    ("begin", "w1", 1),
+    ("read", "w1", 1, "r"),
+    ("begin", "w2", 2),
+    ("write", "w2", 2, "r"),
+    ("commit", "w2", 2),
+    ("read", "w1", 1, "r"),  # same txn, different answer
+    ("commit", "w1", 1),
+)
+
+WRITE_SKEW = history(
+    ("begin", "w1", 1),
+    ("begin", "w2", 2),
+    ("read", "w1", 1, "a", "snapshot"),
+    ("read", "w2", 2, "b", "snapshot"),
+    ("write", "w1", 1, "b"),
+    ("write", "w2", 2, "a"),
+    ("commit", "w1", 1),
+    ("commit", "w2", 2),
+)
+
+
+class TestAuditHistory:
+    def test_lost_update_is_flagged_once(self):
+        assert codes(LOST_UPDATE) == ["QA603"]
+
+    def test_non_repeatable_read_is_flagged_once(self):
+        assert codes(NON_REPEATABLE) == ["QA604"]
+
+    def test_snapshot_reads_are_repeatable_by_construction(self):
+        protected = history(
+            ("begin", "w1", 1),
+            ("read", "w1", 1, "r", "snapshot"),
+            ("begin", "w2", 2),
+            ("write", "w2", 2, "r"),
+            ("commit", "w2", 2),
+            ("read", "w1", 1, "r", "snapshot"),
+            ("commit", "w1", 1),
+        )
+        assert codes(protected) == []
+
+    def test_write_skew_is_flagged_once(self):
+        # one report per transaction pair, not per crossed resource pair
+        assert codes(WRITE_SKEW) == ["QA605"]
+
+    def test_serial_histories_are_silent(self):
+        serial = history(
+            ("begin", "w1", 1),
+            ("read", "w1", 1, "r"),
+            ("write", "w1", 1, "r"),
+            ("commit", "w1", 1),
+            ("begin", "w2", 2),
+            ("read", "w2", 2, "r"),
+            ("write", "w2", 2, "r"),
+            ("commit", "w2", 2),
+        )
+        assert codes(serial) == []
+
+    def test_aborted_transactions_never_participate(self):
+        aborted = history(
+            ("begin", "w1", 1),
+            ("begin", "w2", 2),
+            ("read", "w1", 1, "r"),
+            ("read", "w2", 2, "r"),
+            ("write", "w2", 2, "r"),
+            ("commit", "w2", 2),
+            ("write", "w1", 1, "r"),
+            ("abort", "w1", 1),  # the lost update never committed
+        )
+        assert codes(aborted) == []
+
+    def test_storage_events_attribute_via_the_open_transaction(self):
+        # storage layers emit txn_id=-1; the worker's open txn claims them
+        skew = history(
+            ("begin", "w1", 1),
+            ("begin", "w2", 2),
+            ("read", "w1", -1, "a", "snapshot"),
+            ("read", "w2", -1, "b", "snapshot"),
+            ("write", "w1", -1, "b"),
+            ("write", "w2", -1, "a"),
+            ("commit", "w1", 1),
+            ("commit", "w2", 2),
+        )
+        assert codes(skew) == ["QA605"]
+
+    def test_accesses_outside_any_transaction_are_ignored(self):
+        # the interactive harness's readers run outside transactions;
+        # their reads must not manufacture histories
+        stray = history(
+            ("read", "reader-0", -1, "r"),
+            ("begin", "w1", 1),
+            ("write", "w1", 1, "r"),
+            ("commit", "w1", 1),
+            ("read", "reader-0", -1, "r"),
+        )
+        assert codes(stray) == []
+
+    def test_disjoint_resources_are_not_skew(self):
+        # both write what they themselves read: plain overlapping
+        # updates of independent resources, serializable either way
+        independent = history(
+            ("begin", "w1", 1),
+            ("begin", "w2", 2),
+            ("read", "w1", 1, "a", "snapshot"),
+            ("read", "w2", 2, "b", "snapshot"),
+            ("write", "w1", 1, "a"),
+            ("write", "w2", 2, "b"),
+            ("commit", "w1", 1),
+            ("commit", "w2", 2),
+        )
+        assert codes(independent) == []
+
+
+class TestDiagnosticShape:
+    """Pin the ``--format json`` object shape for the QA60x family."""
+
+    EXPECTED = {
+        "QA603": "lost-update",
+        "QA604": "non-repeatable-read",
+        "QA605": "write-skew",
+    }
+
+    @pytest.mark.parametrize(
+        "fixture, code",
+        [
+            (LOST_UPDATE, "QA603"),
+            (NON_REPEATABLE, "QA604"),
+            (WRITE_SKEW, "QA605"),
+        ],
+    )
+    def test_json_schema_is_pinned(self, fixture, code):
+        (diagnostic,) = audit_history(fixture)
+        record = diagnostic.to_dict()
+        assert set(record) == {
+            "code",
+            "name",
+            "severity",
+            "dialect",
+            "operation",
+            "query_index",
+            "message",
+        }
+        assert record["code"] == code
+        assert record["name"] == self.EXPECTED[code]
+        assert record["severity"] == "error"
+        assert record["dialect"] == "runtime"
+        assert record["operation"] == "anomaly-audit"
+        assert record["query_index"] == 0
+        assert record["message"]
+
+
+class TestSeededHistories:
+    """Each injector's history produces exactly its QA60x, nothing else."""
+
+    @pytest.mark.parametrize(
+        "mode, code",
+        [
+            ("lost-update", "QA603"),
+            ("non-repeatable-read", "QA604"),
+            ("write-skew", "QA605"),
+        ],
+    )
+    def test_injected_run_reports_exactly_one_anomaly(
+        self, dataset, mode, code
+    ):
+        report = run_sanitize(
+            "postgres-sql",
+            dataset,
+            readers=2,
+            duration_ms=100.0,
+            inject_mode=mode,
+        )
+        assert [d.code for d in report.diagnostics] == [code]
+        assert report.ok
+
+    def test_clean_run_is_silent(self, dataset):
+        report = run_sanitize(
+            "postgres-sql", dataset, readers=2, duration_ms=100.0
+        )
+        assert report.diagnostics == []
+        assert report.ok

@@ -63,6 +63,9 @@ MATRIX = [
     ("lock-across-commit", "postgres-sql"),
     ("lock-across-commit", "sqlg"),
     ("unsorted-locks", "postgres-sql"),
+    ("lost-update", "postgres-sql"),
+    ("non-repeatable-read", "postgres-sql"),
+    ("write-skew", "virtuoso-sql"),
     ("dangling-edge", "neo4j-cypher"),
     ("dangling-edge", "postgres-sql"),
     ("dangling-edge", "titan-c"),
