@@ -49,6 +49,23 @@ QA804    storage-mutation function that emits no sanitizer trace event
          (and is not baselined as a sub-record primitive)
 QA805    cache-writing code path with no matching epoch/dependency
          invalidation registration anywhere in its class
+QA806    snapshot-bypassing raw read on a versioned store (a reader
+         touches record containers or probes an unversioned secondary
+         index without consulting the MVCC visibility layer /
+         ``stale_keys`` index-fixup discipline)
+QA807    storage mutation without version stamping: a member of a
+         VersionStore-owning class mutates a record container but
+         never stamps/records the change for snapshot readers
+QA808    cache fill or hit not gated on snapshot staleness
+         (``stale_reads``/``stale``): a stale snapshot could read or
+         poison entries derived from newer state
+QA809    physical reclaim outside the GC-watermark path: record data
+         is removed by a function that is neither the ``on_reclaim``
+         callback's closure nor a caller consulting
+         ``record_delete``/``undelete``
+QA810    side effect inside ``repro.exec.*``: compiled batch kernels
+         must be read-only (no lock/txn acquisition, trace writes,
+         mutation charges, or storage/cache write verbs)
 =======  ==============================================================
 
 QA1xx-QA5xx are *static* passes over the query catalogs
@@ -105,6 +122,11 @@ CODES: dict[str, tuple[str, Severity]] = {
     "QA803": ("blocking-io-under-lock", Severity.ERROR),
     "QA804": ("untraced-storage-mutation", Severity.ERROR),
     "QA805": ("cache-write-without-invalidation", Severity.ERROR),
+    "QA806": ("snapshot-bypassing-raw-read", Severity.ERROR),
+    "QA807": ("unversioned-storage-mutation", Severity.ERROR),
+    "QA808": ("ungated-cache-under-snapshot", Severity.ERROR),
+    "QA809": ("reclaim-outside-watermark", Severity.ERROR),
+    "QA810": ("effectful-compiled-closure", Severity.ERROR),
 }
 
 

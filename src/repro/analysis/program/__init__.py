@@ -11,6 +11,10 @@ a module-level call graph:
   acquisition sequences, release discipline, blocking-I/O sites, trace
   emission, and cache writes/invalidations.
 * :mod:`~repro.analysis.program.passes` — the QA801–QA805 passes.
+* :mod:`~repro.analysis.program.effects` — the interprocedural
+  MVCC-effect passes QA806–QA810 (snapshot visibility, version
+  stamping, staleness-gated caches, watermark reclaim, read-only
+  compiled closures).
 * :mod:`~repro.analysis.program.baseline` — the committed suppression
   file that keeps `repro lint --program` green on the current tree.
 """
@@ -18,6 +22,7 @@ a module-level call graph:
 from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.analysis.diagnostics import Diagnostic
@@ -26,6 +31,7 @@ from repro.analysis.program.baseline import (
     BaselineEntry,
     apply_baseline,
     load_baseline,
+    unresolvable_entries,
 )
 from repro.analysis.program.callgraph import (
     SCOPE_PACKAGES,
@@ -46,10 +52,13 @@ __all__ = [
     "SCOPE_PACKAGES",
     "BaselineEntry",
     "Program",
+    "ProgramLintReport",
     "analyze_program",
+    "analyze_program_report",
     "analyze_program_sources",
     "apply_baseline",
     "load_baseline",
+    "unresolvable_entries",
 ]
 
 
@@ -71,11 +80,28 @@ def analyze_program_sources(
     return run_passes(build_program(sources), selected)
 
 
-def analyze_program(
+@dataclass
+class ProgramLintReport:
+    """One ``--program`` run: kept findings plus baseline health.
+
+    ``diagnostics`` is what the gate fires on (new findings only, when
+    a baseline was applied).  ``stale`` entries matched no diagnostic
+    this run and ``unresolvable`` entries no longer name any function
+    or class in the tree — both mean the baseline has drifted from the
+    code and should be pruned.
+    """
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    suppressed: int = 0
+    stale: list[BaselineEntry] = field(default_factory=list)
+    unresolvable: list[BaselineEntry] = field(default_factory=list)
+
+
+def analyze_program_report(
     paths: Iterable[str | Path] | None = None,
     baseline: str | Path | None = DEFAULT_BASELINE_PATH,
     passes: Iterable[str] | None = None,
-) -> list[Diagnostic]:
+) -> ProgramLintReport:
     """Run the analyzer over the engine tree (or explicit ``paths``).
 
     Diagnostics matching the baseline file are suppressed; pass
@@ -86,10 +112,31 @@ def analyze_program(
         if paths is None
         else sources_from_paths(paths)
     )
-    diagnostics = analyze_program_sources(sources, passes)
-    if baseline is not None:
-        entries = load_baseline(baseline)
-        diagnostics, _suppressed, _stale = apply_baseline(
-            diagnostics, entries
-        )
-    return diagnostics
+    program = build_program(sources)
+    selected = None if passes is None else set(passes)
+    diagnostics = run_passes(program, selected)
+    if baseline is None:
+        return ProgramLintReport(diagnostics=diagnostics)
+    entries = load_baseline(baseline)
+    kept, suppressed, stale = apply_baseline(diagnostics, entries)
+    unresolvable = unresolvable_entries(
+        entries, set(program.summaries)
+    )
+    # an entry that names nothing is reported once, as unresolvable
+    # (it is necessarily stale too)
+    stale = [e for e in stale if e not in unresolvable]
+    return ProgramLintReport(
+        diagnostics=kept,
+        suppressed=suppressed,
+        stale=stale,
+        unresolvable=unresolvable,
+    )
+
+
+def analyze_program(
+    paths: Iterable[str | Path] | None = None,
+    baseline: str | Path | None = DEFAULT_BASELINE_PATH,
+    passes: Iterable[str] | None = None,
+) -> list[Diagnostic]:
+    """The kept diagnostics of :func:`analyze_program_report`."""
+    return analyze_program_report(paths, baseline, passes).diagnostics

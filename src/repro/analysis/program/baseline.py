@@ -62,6 +62,41 @@ def load_baseline(path: str | Path) -> list[BaselineEntry]:
     return entries
 
 
+def unresolvable_entries(
+    entries: list[BaselineEntry],
+    function_refs: set[str],
+) -> list[BaselineEntry]:
+    """Entries whose location pattern no longer names anything real.
+
+    An entry *resolves* when its pattern matches some function ref in
+    the analyzed program, or — for the attribute-shaped QA805
+    locations (``module:Class.attr``) — when the ``module:Class`` part
+    matches a class that still has members.  Anything else is a
+    leftover from renamed or deleted code and must be pruned, not
+    silently kept: a pattern that matches nothing today could match a
+    *new* finding tomorrow and suppress it unreviewed.
+    """
+    class_prefixes = {
+        ref.rsplit(".", 1)[0]
+        for ref in function_refs
+        if "." in ref.partition(":")[2]
+    }
+    out: list[BaselineEntry] = []
+    for entry in entries:
+        if any(fnmatch(ref, entry.location) for ref in function_refs):
+            continue
+        # rpartition leaves the whole pattern when it has no colon
+        # (a leading wildcard may cover the module:Class part)
+        tail = entry.location.rpartition(":")[2]
+        prefix = entry.location.rsplit(".", 1)[0]
+        if "." in tail and any(
+            fnmatch(cls, prefix) for cls in class_prefixes
+        ):
+            continue
+        out.append(entry)
+    return out
+
+
 def apply_baseline(
     diagnostics: list[Diagnostic],
     entries: list[BaselineEntry],

@@ -26,6 +26,10 @@ QA805     a cache attribute is written (``put``/``store``) but no code
           (``bump_epoch``/``invalidate*``/``clear``).
 ========  ============================================================
 
+The MVCC-effect passes QA806–QA810 live in
+:mod:`repro.analysis.program.effects` and run through the same
+:func:`run_passes` entry point.
+
 Every pass emits on the shared :class:`~repro.analysis.diagnostics.
 Diagnostic` model with ``dialect="python"`` and
 ``operation="module:Class.method"`` so findings are addressable by the
@@ -50,7 +54,18 @@ from repro.analysis.program.summaries import (
 #: and must not contribute resource tokens or discipline obligations
 FRAMEWORK_MODULES = {"repro.txn.locks", "repro.txn.manager"}
 
-PASS_NAMES = ("QA801", "QA802", "QA803", "QA804", "QA805")
+PASS_NAMES = (
+    "QA801",
+    "QA802",
+    "QA803",
+    "QA804",
+    "QA805",
+    "QA806",
+    "QA807",
+    "QA808",
+    "QA809",
+    "QA810",
+)
 
 
 class Program:
@@ -167,6 +182,10 @@ def run_passes(
         diagnostics += pass_trace_coverage(program)
     if "QA805" in wanted:
         diagnostics += pass_cache_invalidation(program)
+    # imported here: effects.py uses Program, defined in this module
+    from repro.analysis.program.effects import run_effect_passes
+
+    diagnostics += run_effect_passes(program, wanted)
     diagnostics.sort(
         key=lambda d: (d.code, d.location.operation, d.message)
     )

@@ -65,6 +65,17 @@ INVALIDATION_ATTRS = {
 #: ``charge(...)`` kinds that mark a record/page-level storage mutation
 MUTATION_CHARGES = {"record_write", "page_write"}
 
+#: constructors whose instances hold *record* data (the effect passes
+#: treat attrs initialized to these — or to plain container literals —
+#: as versioned storage once the class owns a :class:`VersionStore`)
+STORAGE_CLASSES = {
+    "HeapFile",
+    "ColumnTable",
+    "BPlusTree",
+    "LSMTree",
+    "BDBStore",
+}
+
 
 @dataclass
 class Event:
@@ -108,6 +119,21 @@ class FunctionSummary:
     cache_writes: set[str] = field(default_factory=set)
     #: self attrs invalidated (bump_epoch/invalidate*/clear)
     cache_invalidations: set[str] = field(default_factory=set)
+    #: self attr -> on_reclaim callback attr, for
+    #: ``self.x = VersionStore(..., on_reclaim=self._cb)`` (None when
+    #: the store is built without a reclaim callback)
+    version_store_defs: dict[str, str | None] = field(
+        default_factory=dict
+    )
+    #: self attrs initialized to container literals ({}/[]/set()) or
+    #: storage-class constructors — candidate record containers
+    container_defs: set[str] = field(default_factory=set)
+    #: self attr (or alias root) -> method names called on it
+    attr_calls: dict[str, set[str]] = field(default_factory=dict)
+    #: self attrs read through a subscript load (``self._rows[k]``)
+    attr_subscript_loads: set[str] = field(default_factory=set)
+    #: self attrs iterated (for-loop or comprehension source)
+    attr_iterations: set[str] = field(default_factory=set)
 
     @property
     def ref(self) -> str:
@@ -140,6 +166,11 @@ class _Walker:
         self.with_depth = 0
         #: local name -> self attribute it aliases
         self.aliases: dict[str, str] = {}
+        #: local name -> self attribute *rooting* the value it was
+        #: assigned from (``index = self._indexes.get(c)`` roots at
+        #: ``_indexes``); used only by the effect facts so the looser
+        #: resolution cannot disturb the QA805 cache accounting
+        self.root_aliases: dict[str, str] = {}
 
     # -- statements ---------------------------------------------------------
 
@@ -168,6 +199,19 @@ class _Walker:
                     if isinstance(name, ast.Name):
                         self.summary.returns_names.add(name.id)
                 self.visit_expr(node.value)
+            return
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            self._record_iteration(node.iter)
+            root = _self_attr_root(node.iter)
+            if root is not None:
+                for target in ast.walk(node.target):
+                    if isinstance(target, ast.Name):
+                        self.root_aliases[target.id] = root
+            self.visit_expr(node.iter)
+            for stmt in node.body:
+                self.visit_stmt(stmt)
+            for stmt in node.orelse:
+                self.visit_stmt(stmt)
             return
         if isinstance(node, (ast.With, ast.AsyncWith)):
             safe = any(
@@ -219,6 +263,9 @@ class _Walker:
                 alias = _self_attr_of(node.value)
                 if alias is not None:
                     self.aliases[target.id] = alias
+                root = _self_attr_root(node.value)
+                if root is not None:
+                    self.root_aliases[target.id] = root
             else:
                 attr = _self_attr_root(target)
                 if attr is not None and isinstance(
@@ -226,6 +273,7 @@ class _Walker:
                 ):
                     self.summary.self_mutations.add(attr)
             self._record_cache_def(target, node.value)
+            self._record_storage_def(target, node.value)
         else:
             for target in node.targets:
                 attr = _self_attr_root(target)
@@ -249,6 +297,35 @@ class _Walker:
             assert cls is not None
             self.summary.cache_defs[target.attr] = cls
 
+    def _record_storage_def(
+        self, target: ast.expr, value: ast.expr
+    ) -> None:
+        """Classify ``self.X = <container/VersionStore/storage ctor>``.
+
+        Derived metadata built by comprehensions is deliberately *not* a
+        record container: it never carries versioned record state.
+        """
+        attr = _self_attr_of(target)
+        if attr is None:
+            return
+        summary = self.summary
+        if isinstance(value, (ast.Dict, ast.List, ast.Set)):
+            summary.container_defs.add(attr)
+            return
+        if not isinstance(value, ast.Call):
+            return
+        cls = _callee_name(value)
+        if cls in ("dict", "list", "set") and not value.args:
+            summary.container_defs.add(attr)
+        elif cls in STORAGE_CLASSES:
+            summary.container_defs.add(attr)
+        elif cls == "VersionStore":
+            callback: str | None = None
+            for keyword in value.keywords:
+                if keyword.arg == "on_reclaim":
+                    callback = _self_attr_of(keyword.value)
+            summary.version_store_defs[attr] = callback
+
     # -- expressions ---------------------------------------------------------
 
     def visit_expr(self, node: ast.expr, bound: str | None = None) -> None:
@@ -258,9 +335,36 @@ class _Walker:
         if isinstance(node, ast.Lambda):
             self.visit_expr(node.body)
             return
+        if isinstance(node, ast.Subscript) and isinstance(
+            node.ctx, ast.Load
+        ):
+            attr = _self_attr_root(node)
+            if attr is not None:
+                self.summary.attr_subscript_loads.add(attr)
+        if isinstance(
+            node, (ast.GeneratorExp, ast.ListComp, ast.SetComp, ast.DictComp)
+        ):
+            # generators are not expr children: visit their sources and
+            # guards explicitly so calls inside them are still events
+            for generator in node.generators:
+                self._record_iteration(generator.iter)
+                self.visit_expr(generator.iter)
+                for guard in generator.ifs:
+                    self.visit_expr(guard)
         for child in ast.iter_child_nodes(node):
             if isinstance(child, ast.expr):
                 self.visit_expr(child)
+
+    def _record_iteration(self, node: ast.expr) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Attribute):
+                attr = _self_attr_of(sub)
+                if attr is not None:
+                    self.summary.attr_iterations.add(attr)
+            elif isinstance(sub, ast.Name):
+                root = self.root_aliases.get(sub.id)
+                if root is not None:
+                    self.summary.attr_iterations.add(root)
 
     def _visit_call(self, node: ast.Call, bound: str | None) -> None:
         name = _callee_name(node)
@@ -318,6 +422,7 @@ class _Walker:
             )
         self._record_mutation(node, name)
         self._record_cache_op(node, name)
+        self._record_attr_call(node, name)
         summary.events.append(
             Event(
                 kind="call",
@@ -336,6 +441,21 @@ class _Walker:
         attr = _self_attr_root(node.func.value)
         if attr is not None:
             self.summary.self_mutations.add(attr)
+
+    def _record_attr_call(self, node: ast.Call, name: str) -> None:
+        """``self.X.m(...)`` (or via a local alias) -> attr_calls[X] += m."""
+        if not isinstance(node.func, ast.Attribute):
+            return
+        receiver = node.func.value
+        attr: str | None = None
+        if isinstance(receiver, ast.Name):
+            attr = self.root_aliases.get(
+                receiver.id, self.aliases.get(receiver.id)
+            )
+        else:
+            attr = _self_attr_root(receiver)
+        if attr is not None:
+            self.summary.attr_calls.setdefault(attr, set()).add(name)
 
     def _record_cache_op(self, node: ast.Call, name: str) -> None:
         if not isinstance(node.func, ast.Attribute):

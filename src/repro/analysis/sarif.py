@@ -1,0 +1,120 @@
+"""SARIF 2.1.0 serialization for lint diagnostics.
+
+`repro lint --format sarif` (with or without ``--program``) emits one
+SARIF log so CI can upload the run and code hosts can annotate pull
+requests with the findings.  The shape is deliberately minimal but
+schema-valid:
+
+* one ``run`` with the ``repro-lint`` driver and one reporting
+  descriptor ("rule") per :data:`~repro.analysis.diagnostics.CODES`
+  entry that actually fired;
+* one ``result`` per diagnostic, carrying the code as ``ruleId``, the
+  severity mapped onto SARIF's ``error``/``warning``/``note`` levels,
+  and both a logical location (``dialect:operation[index]``) and — for
+  whole-program findings, whose operation is a ``module:Class.method``
+  reference — a physical artifact URI derived from the module path.
+
+The schema URI and version are pinned by ``tests/test_sarif.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.diagnostics import CODES, Diagnostic, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+TOOL_NAME = "repro-lint"
+
+#: Severity -> SARIF result level
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _artifact_uri(diagnostic: Diagnostic) -> str | None:
+    """A repo-relative source URI for whole-program diagnostics.
+
+    Their operation strings are ``module:Class.method`` (or
+    ``module:function``) references into ``src/``; query-catalog
+    diagnostics name connector methods with no single source file and
+    get no physical location.
+    """
+    if diagnostic.location.dialect != "python":
+        return None
+    module, _, _ = diagnostic.location.operation.partition(":")
+    if not module or not all(
+        part.isidentifier() for part in module.split(".")
+    ):
+        return None
+    return "src/" + module.replace(".", "/") + ".py"
+
+
+def _result(diagnostic: Diagnostic) -> dict[str, object]:
+    logical = {
+        "fullyQualifiedName": str(diagnostic.location),
+        "kind": "member",
+    }
+    location: dict[str, object] = {"logicalLocations": [logical]}
+    uri = _artifact_uri(diagnostic)
+    if uri is not None:
+        location["physicalLocation"] = {
+            "artifactLocation": {
+                "uri": uri,
+                "uriBaseId": "REPOROOT",
+            },
+            # the analyzer addresses functions, not lines; anchor the
+            # annotation at the top of the file
+            "region": {"startLine": 1},
+        }
+    return {
+        "ruleId": diagnostic.code,
+        "level": _LEVELS[diagnostic.severity],
+        "message": {"text": diagnostic.message},
+        "locations": [location],
+    }
+
+
+def _rule(code: str) -> dict[str, object]:
+    name, severity = CODES[code]
+    return {
+        "id": code,
+        "name": name,
+        "shortDescription": {"text": name.replace("-", " ")},
+        "defaultConfiguration": {"level": _LEVELS[severity]},
+    }
+
+
+def to_sarif(diagnostics: list[Diagnostic]) -> dict[str, object]:
+    """The complete SARIF log object for one lint run."""
+    fired = sorted({d.code for d in diagnostics})
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": (
+                            "https://github.com/paper-repro/repro"
+                        ),
+                        "rules": [_rule(code) for code in fired],
+                    }
+                },
+                "originalUriBaseIds": {
+                    "REPOROOT": {"uri": "file:///"}
+                },
+                "results": [_result(d) for d in diagnostics],
+            }
+        ],
+    }
+
+
+def dumps(diagnostics: list[Diagnostic]) -> str:
+    """The SARIF log as a stable, pretty-printed JSON string."""
+    return json.dumps(to_sarif(diagnostics), indent=2, sort_keys=True)

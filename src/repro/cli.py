@@ -373,27 +373,55 @@ def cmd_lint(args: argparse.Namespace) -> int:
     ``--program`` switches from the query-catalog passes to the
     whole-program QA8xx passes over the engine source itself; findings
     matching the committed baseline file are suppressed, so the gate
-    fails only on *new* diagnostics.
+    fails only on *new* diagnostics.  Baseline entries that match no
+    finding (stale) or no longer name any function in the tree
+    (unresolvable) fail the run with a prune instruction — unless
+    ``--diff``, the CI gate, which reports only diagnostics new
+    relative to the baseline and tolerates baseline drift so
+    pre-existing justified entries never re-fail a build.
+
+    ``--format sarif`` emits one SARIF 2.1.0 log (both lint modes) for
+    upload to code hosts that annotate pull requests.
     """
     import json
+    import sys
 
     from repro.analysis import Severity, lint_all
 
+    hygiene_failures: list[str] = []
     if args.program:
         from repro.analysis.program import (
             DEFAULT_BASELINE_PATH,
-            analyze_program,
+            analyze_program_report,
         )
 
         baseline = args.baseline or DEFAULT_BASELINE_PATH
-        diagnostics = analyze_program(
+        report = analyze_program_report(
             paths=args.paths or None, baseline=baseline
         )
+        diagnostics = report.diagnostics
         scope = "whole-program passes"
+        for entry in report.unresolvable:
+            hygiene_failures.append(
+                f"baseline entry {entry.code} {entry.location!r} no "
+                f"longer resolves to any function or class in the "
+                f"analyzed tree — the code it justified was renamed "
+                f"or removed; prune it from {baseline}"
+            )
+        for entry in report.stale:
+            hygiene_failures.append(
+                f"baseline entry {entry.code} {entry.location!r} "
+                f"matched no diagnostic this run — the finding it "
+                f"suppressed is gone; prune it from {baseline}"
+            )
     else:
         diagnostics = lint_all()
         scope = "4 dialect catalogs"
-    if args.format == "json":
+    if args.format == "sarif":
+        from repro.analysis.sarif import dumps as sarif_dumps
+
+        print(sarif_dumps(diagnostics))
+    elif args.format == "json":
         for diagnostic in diagnostics:
             print(json.dumps(diagnostic.to_dict(), sort_keys=True))
     else:
@@ -403,11 +431,26 @@ def cmd_lint(args: argparse.Namespace) -> int:
         1 for d in diagnostics if d.severity is Severity.ERROR
     )
     warning_count = len(diagnostics) - error_count
-    if args.format != "json":
-        print(
-            f"lint: {error_count} error(s), {warning_count} warning(s) "
-            f"across {scope}"
+    if args.format == "text":
+        label = (
+            "new diagnostic(s) vs. baseline"
+            if args.diff
+            else "error(s)"
         )
+        print(
+            f"lint: {error_count} {label}, {warning_count} "
+            f"warning(s) across {scope}"
+        )
+    if hygiene_failures:
+        # diff mode (the CI new-findings gate) reports drift without
+        # failing on it; the plain run is the hygiene gate
+        for failure in hygiene_failures:
+            print(
+                f"{'note' if args.diff else 'ERROR'}: {failure}",
+                file=sys.stderr,
+            )
+        if not args.diff:
+            return 1
     if error_count or (args.strict and diagnostics):
         return 1
     return 0
@@ -567,8 +610,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail on warnings as well as errors",
     )
     p.add_argument(
-        "--format", choices=["text", "json"], default="text",
-        help="json prints one diagnostic object per line",
+        "--format", choices=["text", "json", "sarif"], default="text",
+        help="json prints one diagnostic object per line; sarif emits "
+             "one SARIF 2.1.0 log for CI upload",
     )
     p.add_argument(
         "--program", action="store_true",
@@ -576,9 +620,17 @@ def build_parser() -> argparse.ArgumentParser:
              "source instead of the query-catalog passes",
     )
     p.add_argument(
-        "--baseline", default=None, metavar="PATH",
+        "--baseline", nargs="?", default=None, const=None,
+        metavar="PATH",
         help="suppression file for --program (default: the committed "
-             "clean baseline)",
+             "clean baseline; the bare flag makes that default "
+             "explicit)",
+    )
+    p.add_argument(
+        "--diff", action="store_true",
+        help="with --program: report only diagnostics new relative "
+             "to the baseline and do not fail on stale baseline "
+             "entries (the CI gate mode)",
     )
     p.add_argument(
         "--paths", nargs="+", default=None, metavar="FILE",

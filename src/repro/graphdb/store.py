@@ -118,11 +118,41 @@ class GraphStore:
         self._indexes[key] = index
 
     def lookup(self, label: str, prop: str, value: Any) -> list[int]:
-        """Node ids with ``label`` and ``prop == value`` (index required)."""
+        """Node ids with ``label`` and ``prop == value`` (index required).
+
+        Index entries are unversioned, so under a held snapshot a
+        ``set_node_prop`` that moved an entry could make the probe miss
+        the row the snapshot still sees (or surface one it must not).
+        The at-risk node ids are exactly the stamped-after-snapshot keys
+        (``mvcc.stale_keys()``): hits among them are re-checked against
+        their snapshot property map, and stale visible nodes whose
+        snapshot value matches are recovered.
+        """
         index = self._indexes.get((label, prop))
         if index is None:
             raise KeyError(f"no index on :{label}({prop})")
-        return self.mvcc.filter_visible(index.search(value))
+        hits = self.mvcc.filter_visible(index.search(value))
+        stale = [k for k in self.mvcc.stale_keys() if isinstance(k, int)]
+        if not stale:
+            return hits
+        kept = []
+        for node_id in hits:
+            if self.mvcc.stale(node_id):
+                props = self.mvcc.read(node_id, self._nodes[node_id].props)
+                if props.get(prop) != value:
+                    continue
+            kept.append(node_id)
+        seen = set(kept)
+        for node_id in stale:
+            if node_id in seen or not self.mvcc.visible(node_id):
+                continue
+            record = self._nodes[node_id]
+            if label not in record.labels:  # labels are immutable
+                continue
+            props = self.mvcc.read(node_id, record.props)
+            if props.get(prop) == value:
+                kept.append(node_id)
+        return kept
 
     def has_index(self, label: str, prop: str) -> bool:
         return (label, prop) in self._indexes
@@ -253,14 +283,20 @@ class GraphStore:
             runtime.TRACE.read(("node", node_id))
         return self.mvcc.read(node_id, record.props).get(key)
 
-    def rel_props(self, rel_id: int) -> dict[str, Any]:
+    def _rel(self, rel_id: int) -> _RelRecord:
         record = self._rels[rel_id]
+        if record.deleted or not self.mvcc.visible(("rel", rel_id)):
+            raise KeyError(f"relationship {rel_id} is deleted")
+        return record
+
+    def rel_props(self, rel_id: int) -> dict[str, Any]:
+        record = self._rel(rel_id)
         charge("record_read")
         charge("value_cpu", len(record.props))
         return dict(record.props)
 
     def rel_endpoints(self, rel_id: int) -> tuple[str, int, int]:
-        record = self._rels[rel_id]
+        record = self._rel(rel_id)
         charge("record_read")
         return record.rel_type, record.start, record.end
 

@@ -318,7 +318,11 @@ class Table:
         if index is None:
             raise KeyError(f"no index on {self.name}.{column}")
         return {
-            value: self.mvcc.filter_visible(index.search(value))
+            value: self._snapshot_index_fixup(
+                column,
+                self.mvcc.filter_visible(index.search(value)),
+                lambda v, want=value: v == want,
+            )
             for value in dict.fromkeys(values)
         }
 
@@ -354,7 +358,45 @@ class Table:
         index = self._indexes.get(column)
         if index is None:
             raise KeyError(f"no index on {self.name}.{column}")
-        return self.mvcc.filter_visible(index.search(value))
+        hits = self.mvcc.filter_visible(index.search(value))
+        return self._snapshot_index_fixup(column, hits, lambda v: v == value)
+
+    def _snapshot_index_fixup(
+        self,
+        column: str,
+        hits: list[Any],
+        matches: Any,
+    ) -> list[Any]:
+        """Re-check index hits against the snapshot-visible column value.
+
+        Index entries are unversioned: an update after the snapshot began
+        re-files the entry under the new value, so a probe by the old
+        value misses the row (false negative) and a probe by the new
+        value returns a handle whose snapshot row doesn't match (false
+        positive).  The keys at risk are exactly ``mvcc.stale_keys()`` —
+        every hit among them is value-checked against its snapshot row,
+        and every stale visible row missing from ``hits`` is recovered if
+        its snapshot value satisfies the predicate.
+        """
+        stale = self.mvcc.stale_keys()
+        if not stale:
+            return hits
+        pos = self._col_pos[column]
+        kept = []
+        for handle in hits:
+            if self.mvcc.stale(handle):
+                row = self.mvcc.read(handle, self._fetch_raw(handle))
+                if not matches(row[pos]):
+                    continue
+            kept.append(handle)
+        seen = set(kept)
+        for handle in stale:
+            if handle in seen or not self.mvcc.visible(handle):
+                continue
+            row = self.mvcc.read(handle, self._fetch_raw(handle))
+            if row[pos] is not None and matches(row[pos]):
+                kept.append(handle)
+        return kept
 
     def range_lookup(
         self, column: str, lo: Any, hi: Any, *, hi_inclusive: bool = True
@@ -362,9 +404,18 @@ class Table:
         index = self._indexes.get(column)
         if not isinstance(index, BPlusTree):
             raise KeyError(f"no range index on {self.name}.{column}")
-        for _key, handle in index.range_scan(lo, hi, hi_inclusive=hi_inclusive):
-            if self.mvcc.visible(handle):
-                yield handle
+        hits = [
+            handle
+            for _key, handle in index.range_scan(
+                lo, hi, hi_inclusive=hi_inclusive
+            )
+            if self.mvcc.visible(handle)
+        ]
+        if hi_inclusive:
+            in_range = lambda v: lo <= v <= hi  # noqa: E731
+        else:
+            in_range = lambda v: lo <= v < hi  # noqa: E731
+        yield from self._snapshot_index_fixup(column, hits, in_range)
 
     # -- stats --------------------------------------------------------------------
 

@@ -202,6 +202,22 @@ class VersionStore:
         begin_ts = self._stamps.get(key)
         return begin_ts is not None and begin_ts > snapshot.read_ts
 
+    def stale_keys(self) -> list[Key]:
+        """Keys whose latest value was stamped after the current view began.
+
+        These are exactly the keys whose secondary-index entries may have
+        *moved* since the snapshot started (an update re-files the entry
+        under the new indexed value): index lookups re-check them against
+        the snapshot-visible value to drop false positives and recover
+        rows whose old-value entries are gone.  Empty when no snapshot is
+        active, so snapshot-free operation pays nothing.
+        """
+        snapshot = oracle.CURRENT
+        if snapshot is None or not self._stamps:
+            return []
+        read_ts = snapshot.read_ts
+        return [k for k, ts in self._stamps.items() if ts > read_ts]
+
     def read(self, key: Key, current_value: Any) -> Any:
         """The value of ``key`` as of the current view.
 

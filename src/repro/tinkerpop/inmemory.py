@@ -48,11 +48,42 @@ class TinkerGraphProvider(GraphProvider):
         return (label, key) in self._indexes
 
     def lookup(self, label: str, key: str, value: Any) -> list[Any]:
+        """Vertex ids with ``label`` and ``key == value`` via the index.
+
+        Index entries are unversioned; under a held snapshot a
+        ``set_vertex_prop`` after the snapshot began may have re-filed an
+        entry, so stamped-after-snapshot vertices (``mvcc.stale_keys()``)
+        are re-checked against their snapshot-visible property map.
+        """
         charge("hash_probe")
         index = self._indexes.get((label, key))
         if index is None:
             raise KeyError(f"no index on {label}.{key}")
-        return [v for v in index.get(value, ()) if self.mvcc.visible(("v", v))]
+        hits = [
+            v for v in index.get(value, ()) if self.mvcc.visible(("v", v))
+        ]
+        stale = [k for k in self.mvcc.stale_keys() if k[0] == "v"]
+        if not stale:
+            return hits
+        kept = []
+        for vid in hits:
+            if self.mvcc.stale(("v", vid)):
+                props = self.mvcc.read(("v", vid), self._vertex_props[vid])
+                if props.get(key) != value:
+                    continue
+            kept.append(vid)
+        seen = set(kept)
+        for _, vid in stale:
+            if (
+                vid in seen
+                or self._vertex_labels.get(vid) != label
+                or not self.mvcc.visible(("v", vid))
+            ):
+                continue
+            props = self.mvcc.read(("v", vid), self._vertex_props[vid])
+            if props.get(key) == value:
+                kept.append(vid)
+        return kept
 
     # -- reads --------------------------------------------------------------------
 

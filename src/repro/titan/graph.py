@@ -75,6 +75,11 @@ class TitanProvider(GraphProvider):
             charge("backend_rtt")
         self.backend.put(key.encode(), value)
 
+    def _delete(self, key: str) -> None:
+        if self.remote_backend:
+            charge("backend_rtt")
+        self.backend.delete(key.encode())
+
     def _scan(self, prefix: str) -> Iterator[tuple[str, bytes]]:
         if self.remote_backend:
             charge("backend_rtt")
@@ -140,9 +145,22 @@ class TitanProvider(GraphProvider):
             raise KeyError(f"no vertex {vid}")
         record = json.loads(raw)
         self.mvcc.record_update(("v", vid), json.loads(raw))
+        label = record["label"]
+        old = record["props"].get(key)
         record["props"][key] = value
         self._vertex_cache.pop(vid, None)
         self._put(f"v:{_pad(vid)}", json.dumps(record).encode())
+        if (label, key) in self._indexed and old != value:
+            # re-file the composite-index entry under the new value
+            if old is not None:
+                self._delete(
+                    f"i:{label}:{key}:{_encode_value(old)}:{_pad(vid)}"
+                )
+            if value is not None:
+                self._put(
+                    f"i:{label}:{key}:{_encode_value(value)}:{_pad(vid)}",
+                    b"",
+                )
         if runtime.TRACE is not None:
             runtime.TRACE.write(("titan-vertex", vid))
 
@@ -232,6 +250,14 @@ class TitanProvider(GraphProvider):
                 yield eid, other
 
     def lookup(self, label: str, key: str, value: Any) -> list[Any]:
+        """Vertex ids via the composite index, snapshot-corrected.
+
+        Index rows are unversioned: a ``set_vertex_prop`` after the
+        current snapshot began re-filed the ``i:`` entry, so vertices
+        stamped after the snapshot (``mvcc.stale_keys()``) are
+        re-checked against their covering chain version — every such
+        version walk bypasses the current index row entirely.
+        """
         if (label, key) not in self._indexed:
             raise KeyError(f"no Titan index on {label}.{key}")
         prefix = f"i:{label}:{key}:{_encode_value(value)}:"
@@ -239,7 +265,29 @@ class TitanProvider(GraphProvider):
             int(entry_key.rsplit(":", 1)[1])
             for entry_key, _ in self._scan(prefix)
         ]
-        return [vid for vid in vids if self.mvcc.visible(("v", vid))]
+        hits = [vid for vid in vids if self.mvcc.visible(("v", vid))]
+        stale = [k for k in self.mvcc.stale_keys() if k[0] == "v"]
+        if not stale:
+            return hits
+        kept = []
+        for vid in hits:
+            if self.mvcc.stale(("v", vid)):
+                # chain-covered read: current value is never consulted
+                record = self.mvcc.read(("v", vid), None)
+                if record["props"].get(key) != value:
+                    continue
+            kept.append(vid)
+        seen = set(kept)
+        for _, vid in stale:
+            if vid in seen or not self.mvcc.visible(("v", vid)):
+                continue
+            record = self.mvcc.read(("v", vid), None)
+            if (
+                record["label"] == label
+                and record["props"].get(key) == value
+            ):
+                kept.append(vid)
+        return kept
 
     # -- stats -------------------------------------------------------------------------------
 
